@@ -1,0 +1,297 @@
+// Package accelring is a Go implementation of the Accelerated Ring
+// protocol (Babay & Amir, "Fast Total Ordering for Modern Data Centers",
+// ICDCS 2016): reliable, totally ordered multicast with Extended Virtual
+// Synchrony semantics over a token-passing logical ring, in which a
+// participant may keep multicasting for a bounded window after forwarding
+// the token — overlapping its sending with its successor's and cutting
+// token rotation time, which simultaneously raises throughput and lowers
+// latency on modern data-center networks.
+//
+// The package offers the library-based deployment style evaluated in the
+// paper: the application embeds a Node directly. The daemon-based style
+// (Spread-like, with IPC clients and named groups) lives in cmd/ringd and
+// internal/daemon.
+//
+// A Node is created over a Transport (UDP/IP-multicast for real networks,
+// an in-memory hub for tests and single-process demos), submits messages
+// with Submit, and receives totally ordered deliveries and membership
+// events on Events.
+package accelring
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"accelring/internal/core"
+	"accelring/internal/flowctl"
+	"accelring/internal/transport"
+	"accelring/internal/wire"
+)
+
+// Public aliases for the identifier and service types, so applications
+// never import internal packages.
+type (
+	// ParticipantID uniquely identifies a ring participant.
+	ParticipantID = wire.ParticipantID
+	// Seq is a message sequence number: the position in the total order.
+	Seq = wire.Seq
+	// Service selects a delivery guarantee.
+	Service = wire.Service
+	// Configuration is a membership view.
+	Configuration = core.Configuration
+	// Protocol selects the ordering protocol variant.
+	Protocol = core.Protocol
+	// Stats exposes the engine's counters.
+	Stats = core.Stats
+	// Tracer receives protocol-level events (state transitions, token
+	// forwards, configuration installs) synchronously on the protocol
+	// goroutine; implementations must be fast and non-blocking.
+	Tracer = core.Tracer
+	// State is the engine's membership state, as reported to tracers.
+	State = core.State
+)
+
+// Delivery services.
+const (
+	// FIFO delivery: per-sender order (provided via Agreed).
+	FIFO = wire.ServiceFIFO
+	// Causal delivery: causality-respecting order (provided via Agreed).
+	Causal = wire.ServiceCausal
+	// Agreed delivery: a single total order across all participants.
+	Agreed = wire.ServiceAgreed
+	// Safe delivery: total order plus stability — delivered only once
+	// every member of the configuration has received the message.
+	Safe = wire.ServiceSafe
+)
+
+// Protocol variants.
+const (
+	// OriginalRing is the Totem-style baseline protocol.
+	OriginalRing = core.ProtocolOriginalRing
+	// AcceleratedRing is the paper's contribution and the default.
+	AcceleratedRing = core.ProtocolAcceleratedRing
+)
+
+// Event is a totally ordered occurrence delivered to the application:
+// either a Message or a ConfigChange.
+type Event interface {
+	isEvent()
+}
+
+// Message is an ordered application message.
+type Message struct {
+	// Sender is the participant that initiated the message.
+	Sender ParticipantID
+	// Service is the delivery guarantee it was sent with.
+	Service Service
+	// Payload is the application data.
+	Payload []byte
+}
+
+// ConfigChange reports a membership change. Per Extended Virtual
+// Synchrony, a transitional configuration precedes messages that could not
+// meet the guarantees of the old configuration.
+type ConfigChange struct {
+	Config       Configuration
+	Transitional bool
+}
+
+func (Message) isEvent()      {}
+func (ConfigChange) isEvent() {}
+
+// Windows carries the protocol's flow control parameters. The zero value
+// selects the defaults.
+type Windows struct {
+	// Personal is the maximum number of new messages one participant may
+	// initiate per token round.
+	Personal int
+	// Global bounds the total multicasts per token round, ring-wide.
+	Global int
+	// Accelerated is the maximum number of messages multicast after
+	// forwarding the token. Zero with the AcceleratedRing protocol means
+	// the default; it is forced to zero by OriginalRing.
+	Accelerated int
+	// MaxSeqGap bounds how far sequencing may run ahead of stability.
+	MaxSeqGap int
+}
+
+// Options configures a Node.
+type Options struct {
+	// ID is this participant's non-zero unique identifier.
+	ID ParticipantID
+	// Transport connects this node to its peers. Required.
+	Transport transport.Transport
+	// Members, when non-empty, installs a static ring immediately (every
+	// node must be started with the identical list). When empty the node
+	// discovers peers through the membership protocol.
+	Members []ParticipantID
+	// Protocol selects AcceleratedRing (default) or OriginalRing.
+	Protocol Protocol
+	// Windows tunes flow control; zero values select defaults.
+	Windows Windows
+	// TokenLossTimeout overrides the failure-detection timeout.
+	TokenLossTimeout time.Duration
+	// TokenRetransPeriod, JoinPeriod, ConsensusTimeout and CommitTimeout
+	// override the remaining protocol timers (zero values select
+	// defaults). Shrink them for fast failover on low-latency networks.
+	TokenRetransPeriod time.Duration
+	JoinPeriod         time.Duration
+	ConsensusTimeout   time.Duration
+	CommitTimeout      time.Duration
+	// EventBuffer is the capacity of the Events channel (default 16384).
+	// The application must drain Events; a full buffer blocks the
+	// protocol rather than dropping ordered messages.
+	EventBuffer int
+	// PackThreshold enables Spread-style message packing: consecutive
+	// pending same-service messages are packed into one protocol packet
+	// while the container stays at or below this many bytes. Zero
+	// disables packing; 1350 packs one MTU frame's worth.
+	PackThreshold int
+	// Tracer, when non-nil, observes protocol-level events.
+	Tracer Tracer
+	// AdaptiveWindow enables AIMD adaptation of the accelerated window
+	// between 0 and the personal window, replacing hand-tuning: it halves
+	// on retransmission bursts and creeps back up on clean streaks.
+	AdaptiveWindow bool
+}
+
+// Node is one ring participant embedded in the application process.
+type Node struct {
+	id     ParticipantID
+	tr     transport.Transport
+	events chan Event
+
+	submitCh chan submitReq
+	statsCh  chan chan Stats
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
+	mu      sync.Mutex
+	lastErr error
+}
+
+type submitReq struct {
+	payload []byte
+	service Service
+	errCh   chan error
+}
+
+// Errors.
+var (
+	// ErrClosed is returned by operations on a closed node.
+	ErrClosed = errors.New("accelring: node closed")
+)
+
+// Start creates a node and begins protocol operation.
+func Start(opts Options) (*Node, error) {
+	if opts.Transport == nil {
+		return nil, errors.New("accelring: Options.Transport is required")
+	}
+	cfg := core.Config{
+		MyID:               opts.ID,
+		Protocol:           opts.Protocol,
+		TokenLossTimeout:   opts.TokenLossTimeout,
+		TokenRetransPeriod: opts.TokenRetransPeriod,
+		JoinPeriod:         opts.JoinPeriod,
+		ConsensusTimeout:   opts.ConsensusTimeout,
+		CommitTimeout:      opts.CommitTimeout,
+		PackThreshold:      opts.PackThreshold,
+		Tracer:             opts.Tracer,
+		AdaptiveWindow:     opts.AdaptiveWindow,
+	}
+	if opts.Windows != (Windows{}) {
+		flow := flowctl.Default()
+		if opts.Windows.Personal != 0 {
+			flow.PersonalWindow = opts.Windows.Personal
+		}
+		if opts.Windows.Global != 0 {
+			flow.GlobalWindow = opts.Windows.Global
+		}
+		if opts.Windows.Accelerated != 0 {
+			flow.AcceleratedWindow = opts.Windows.Accelerated
+		}
+		if opts.Windows.MaxSeqGap != 0 {
+			flow.MaxSeqGap = opts.Windows.MaxSeqGap
+		}
+		cfg.Flow = flow
+	}
+	eng, err := core.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("accelring: %w", err)
+	}
+	buf := opts.EventBuffer
+	if buf <= 0 {
+		buf = 16384
+	}
+	n := &Node{
+		id:       opts.ID,
+		tr:       opts.Transport,
+		events:   make(chan Event, buf),
+		submitCh: make(chan submitReq),
+		statsCh:  make(chan chan Stats),
+		stopCh:   make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+
+	var initial []core.Action
+	if len(opts.Members) > 0 {
+		initial, err = eng.StartWithRing(opts.Members)
+		if err != nil {
+			return nil, fmt.Errorf("accelring: %w", err)
+		}
+	} else {
+		initial = eng.Start()
+	}
+
+	go n.loop(eng, initial)
+	return n, nil
+}
+
+// ID returns this node's participant ID.
+func (n *Node) ID() ParticipantID { return n.id }
+
+// Events returns the stream of ordered deliveries and membership changes.
+// The channel is closed when the node shuts down.
+func (n *Node) Events() <-chan Event { return n.events }
+
+// Submit queues an application message for totally ordered multicast to
+// the ring (including back to this node). It blocks while the protocol
+// loop is busy and fails once the engine's backlog is full.
+func (n *Node) Submit(payload []byte, service Service) error {
+	req := submitReq{payload: payload, service: service, errCh: make(chan error, 1)}
+	select {
+	case n.submitCh <- req:
+		return <-req.errCh
+	case <-n.done:
+		return ErrClosed
+	}
+}
+
+// Stats returns a snapshot of the protocol counters.
+func (n *Node) Stats() (Stats, error) {
+	ch := make(chan Stats, 1)
+	select {
+	case n.statsCh <- ch:
+		return <-ch, nil
+	case <-n.done:
+		return Stats{}, ErrClosed
+	}
+}
+
+// Err returns the last transport error observed by the protocol loop, if
+// any. Transient UDP errors do not stop the loop.
+func (n *Node) Err() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lastErr
+}
+
+// Close stops the protocol loop and releases the transport.
+func (n *Node) Close() error {
+	n.stopOnce.Do(func() { close(n.stopCh) })
+	<-n.done
+	return nil
+}

@@ -1,0 +1,215 @@
+// Command ringd is the Spread-like daemon deployment of the Accelerated
+// Ring protocol: one daemon per machine joins the ring over UDP
+// (IP-multicast data, unicast token) and serves local clients over a Unix
+// socket, providing named groups, open-group semantics and multi-group
+// multicast with totally ordered delivery.
+//
+// Example 3-daemon ring on three hosts:
+//
+//	hostA$ ringd -id 1 -peers 1=10.0.0.1,2=10.0.0.2,3=10.0.0.3 -members 1,2,3
+//	hostB$ ringd -id 2 -peers 1=10.0.0.1,2=10.0.0.2,3=10.0.0.3 -members 1,2,3
+//	hostC$ ringd -id 3 -peers 1=10.0.0.1,2=10.0.0.2,3=10.0.0.3 -members 1,2,3
+//
+// Omit -members to discover peers dynamically through the membership
+// protocol. Without IP-multicast (-mcast ""), multicast is emulated with
+// unicast fan-out.
+//
+// For a single-host demo ring, give each daemon distinct ports:
+//
+//	ringd -id 1 -peers 1=127.0.0.1:7411:7412,2=127.0.0.1:7421:7422 -members 1,2 -socket /tmp/ringd1.sock -mcast ""
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"accelring"
+	"accelring/internal/daemon"
+)
+
+const (
+	defaultDataPort  = 7411
+	defaultTokenPort = 7412
+	defaultMcast     = "239.192.74.11:7410"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	id := flag.Uint("id", 0, "participant ID (1..n), unique per daemon")
+	peersFlag := flag.String("peers", "", "comma-separated peers: id=host[:dataPort:tokenPort]")
+	membersFlag := flag.String("members", "", "static ring membership (comma-separated IDs); empty = dynamic discovery")
+	mcast := flag.String("mcast", defaultMcast, "data multicast group; empty emulates multicast with unicast")
+	socket := flag.String("socket", "/tmp/ringd.sock", "Unix socket for local clients")
+	protoFlag := flag.String("protocol", "accelerated", "ordering protocol: accelerated or original")
+	accelWindow := flag.Int("accel-window", 0, "accelerated window override (messages sent post-token)")
+	personalWindow := flag.Int("personal-window", 0, "personal window override")
+	pack := flag.Int("pack", 1350, "message packing threshold in bytes (0 disables); small client messages sharing a service are packed into one protocol packet")
+	verbose := flag.Bool("verbose", false, "log protocol state transitions and configuration installs")
+	adaptive := flag.Bool("adaptive-window", false, "adapt the accelerated window automatically (AIMD) instead of hand-tuning")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "ringd: ", log.LstdFlags|log.Lmicroseconds)
+
+	if *id == 0 {
+		logger.Print("missing -id")
+		return 2
+	}
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		logger.Print(err)
+		return 2
+	}
+	if _, ok := peers[accelring.ParticipantID(*id)]; !ok {
+		logger.Printf("-peers has no entry for -id %d", *id)
+		return 2
+	}
+	var members []accelring.ParticipantID
+	if *membersFlag != "" {
+		for _, part := range strings.Split(*membersFlag, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 32)
+			if err != nil {
+				logger.Printf("bad -members entry %q: %v", part, err)
+				return 2
+			}
+			members = append(members, accelring.ParticipantID(v))
+		}
+	}
+	var protocol accelring.Protocol
+	switch *protoFlag {
+	case "accelerated":
+		protocol = accelring.AcceleratedRing
+	case "original":
+		protocol = accelring.OriginalRing
+	default:
+		logger.Printf("unknown -protocol %q", *protoFlag)
+		return 2
+	}
+
+	tr, err := accelring.NewUDPTransport(accelring.UDPOptions{
+		ID:             accelring.ParticipantID(*id),
+		Peers:          peers,
+		MulticastGroup: *mcast,
+	})
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+	node, err := accelring.Start(accelring.Options{
+		ID:        accelring.ParticipantID(*id),
+		Transport: tr,
+		Members:   members,
+		Protocol:  protocol,
+		Windows: accelring.Windows{
+			Personal:    *personalWindow,
+			Accelerated: *accelWindow,
+		},
+		PackThreshold:  *pack,
+		Tracer:         maybeTracer(*verbose, logger),
+		AdaptiveWindow: *adaptive,
+	})
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+
+	os.Remove(*socket) // a previous daemon's leftover
+	ln, err := net.Listen("unix", *socket)
+	if err != nil {
+		logger.Print(err)
+		node.Close()
+		return 1
+	}
+	d, err := daemon.New(daemon.Config{Node: node, Listener: ln, Logger: logger})
+	if err != nil {
+		logger.Print(err)
+		node.Close()
+		return 1
+	}
+	logger.Printf("daemon %d serving on %s (protocol %s)", *id, *socket, *protoFlag)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	logger.Print("shutting down")
+	if err := d.Close(); err != nil {
+		logger.Printf("shutdown: %v", err)
+		return 1
+	}
+	return 0
+}
+
+// logTracer logs protocol state transitions and configuration installs.
+type logTracer struct {
+	log *log.Logger
+}
+
+func (t *logTracer) StateChanged(from, to accelring.State) {
+	t.log.Printf("state %s -> %s", from, to)
+}
+
+func (t *logTracer) TokenForwarded(accelring.ParticipantID, accelring.Seq, accelring.Seq, int, int) {
+	// Token forwards are far too frequent to log.
+}
+
+func (t *logTracer) ConfigurationInstalled(cfg accelring.Configuration, transitional bool) {
+	kind := "regular"
+	if transitional {
+		kind = "transitional"
+	}
+	t.log.Printf("%s configuration %s: %v", kind, cfg.ID, cfg.Members)
+}
+
+func maybeTracer(verbose bool, logger *log.Logger) accelring.Tracer {
+	if !verbose {
+		return nil
+	}
+	return &logTracer{log: logger}
+}
+
+// parsePeers parses "1=hostA,2=hostB:7421:7422" into a peer map, applying
+// default ports where omitted.
+func parsePeers(s string) (map[accelring.ParticipantID]accelring.Peer, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -peers")
+	}
+	peers := make(map[accelring.ParticipantID]accelring.Peer)
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=host[:dataPort:tokenPort])", part)
+		}
+		idv, err := strconv.ParseUint(kv[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad peer id %q: %v", kv[0], err)
+		}
+		fields := strings.Split(kv[1], ":")
+		peer := accelring.Peer{Host: fields[0], DataPort: defaultDataPort, TokenPort: defaultTokenPort}
+		switch len(fields) {
+		case 1:
+		case 3:
+			dp, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("bad data port in %q: %v", part, err)
+			}
+			tp, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("bad token port in %q: %v", part, err)
+			}
+			peer.DataPort, peer.TokenPort = dp, tp
+		default:
+			return nil, fmt.Errorf("bad -peers entry %q (want id=host[:dataPort:tokenPort])", part)
+		}
+		peers[accelring.ParticipantID(idv)] = peer
+	}
+	return peers, nil
+}

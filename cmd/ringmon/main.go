@@ -1,0 +1,141 @@
+// Command ringmon is a monitoring observer for a running ring: it joins
+// the ring through the dynamic membership protocol as an extra (read-only)
+// participant and reports membership changes and traffic statistics. Note
+// that, as in any token ring, an observer is a full ring member — it adds
+// one hop to the token's rotation.
+//
+//	ringmon -id 99 -peers 1=10.0.0.1,2=10.0.0.2,99=10.0.0.9 -interval 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"accelring"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	id := flag.Uint("id", 99, "observer participant ID (unique on the ring)")
+	peersFlag := flag.String("peers", "", "comma-separated peers: id=host[:dataPort:tokenPort] (same map as ringd, plus this observer)")
+	mcast := flag.String("mcast", "239.192.74.11:7410", "data multicast group; empty emulates multicast")
+	interval := flag.Duration("interval", 2*time.Second, "statistics reporting interval")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "ringmon: ", log.LstdFlags)
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		logger.Print(err)
+		return 2
+	}
+	tr, err := accelring.NewUDPTransport(accelring.UDPOptions{
+		ID:             accelring.ParticipantID(*id),
+		Peers:          peers,
+		MulticastGroup: *mcast,
+	})
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+	node, err := accelring.Start(accelring.Options{
+		ID:        accelring.ParticipantID(*id),
+		Transport: tr,
+	})
+	if err != nil {
+		logger.Print(err)
+		return 1
+	}
+	defer node.Close()
+	logger.Printf("observer %d joining the ring", *id)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+
+	var msgs, safeMsgs, bytes uint64
+	lastReport := time.Now()
+	for {
+		select {
+		case ev, ok := <-node.Events():
+			if !ok {
+				return 0
+			}
+			switch e := ev.(type) {
+			case accelring.ConfigChange:
+				kind := "regular"
+				if e.Transitional {
+					kind = "transitional"
+				}
+				fmt.Printf("%s membership (%s): %v\n",
+					time.Now().Format("15:04:05.000"), kind, e.Config.Members)
+			case accelring.Message:
+				msgs++
+				bytes += uint64(len(e.Payload))
+				if e.Service == accelring.Safe {
+					safeMsgs++
+				}
+			}
+		case <-ticker.C:
+			elapsed := time.Since(lastReport).Seconds()
+			st, err := node.Stats()
+			if err != nil {
+				return 0
+			}
+			fmt.Printf("%s rate %.0f msg/s (%.0f safe/s, %.2f Mbps payload) | tokens %d retransPkts %d rtrReqs %d memberships %d\n",
+				time.Now().Format("15:04:05.000"),
+				float64(msgs)/elapsed, float64(safeMsgs)/elapsed,
+				float64(bytes)*8/1e6/elapsed,
+				st.TokensProcessed, st.MsgsRetransmitted, st.RTRRequested, st.MembershipChanges)
+			msgs, safeMsgs, bytes = 0, 0, 0
+			lastReport = time.Now()
+		case <-sig:
+			logger.Print("leaving the ring")
+			return 0
+		}
+	}
+}
+
+// parsePeers parses "1=hostA,2=hostB:7421:7422" (same syntax as ringd).
+func parsePeers(s string) (map[accelring.ParticipantID]accelring.Peer, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -peers")
+	}
+	peers := make(map[accelring.ParticipantID]accelring.Peer)
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad -peers entry %q", part)
+		}
+		idv, err := strconv.ParseUint(kv[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad peer id %q: %v", kv[0], err)
+		}
+		fields := strings.Split(kv[1], ":")
+		peer := accelring.Peer{Host: fields[0], DataPort: 7411, TokenPort: 7412}
+		switch len(fields) {
+		case 1:
+		case 3:
+			if peer.DataPort, err = strconv.Atoi(fields[1]); err != nil {
+				return nil, fmt.Errorf("bad data port in %q: %v", part, err)
+			}
+			if peer.TokenPort, err = strconv.Atoi(fields[2]); err != nil {
+				return nil, fmt.Errorf("bad token port in %q: %v", part, err)
+			}
+		default:
+			return nil, fmt.Errorf("bad -peers entry %q", part)
+		}
+		peers[accelring.ParticipantID(idv)] = peer
+	}
+	return peers, nil
+}

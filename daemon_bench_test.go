@@ -1,0 +1,92 @@
+package accelring_test
+
+import (
+	"fmt"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"accelring"
+	"accelring/internal/client"
+	"accelring/internal/daemon"
+)
+
+// BenchmarkDaemonStack measures the full Spread-like path in real time:
+// client → Unix socket → daemon → ring (in-memory transport) → daemons →
+// Unix sockets → clients.
+func BenchmarkDaemonStack(b *testing.B) {
+	dir := b.TempDir()
+	network := accelring.NewMemoryNetwork(5)
+	network.SetLatency(20 * time.Microsecond)
+	members := []accelring.ParticipantID{1, 2, 3}
+	var daemons []*daemon.Daemon
+	var socks []string
+	for _, id := range members {
+		node, err := accelring.Start(accelring.Options{
+			ID: id, Transport: network.Endpoint(id), Members: members,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sock := filepath.Join(dir, fmt.Sprintf("d%d.sock", id))
+		ln, err := net.Listen("unix", sock)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := daemon.New(daemon.Config{Node: node, Listener: ln})
+		if err != nil {
+			b.Fatal(err)
+		}
+		daemons = append(daemons, d)
+		socks = append(socks, sock)
+	}
+	defer func() {
+		for _, d := range daemons {
+			d.Close()
+		}
+	}()
+
+	sender, err := client.Connect("unix", socks[0], "sender")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sender.Close()
+	receiver, err := client.Connect("unix", socks[2], "receiver")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer receiver.Close()
+	if err := receiver.Join("bench"); err != nil {
+		b.Fatal(err)
+	}
+	// Wait for the view so sends route to the receiver.
+	for ev := range receiver.Events() {
+		if v, ok := ev.(client.View); ok && v.Group == "bench" {
+			break
+		}
+	}
+
+	payload := make([]byte, 1350)
+	b.SetBytes(1350)
+	b.ResetTimer()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		got := 0
+		for ev := range receiver.Events() {
+			if _, ok := ev.(client.Message); ok {
+				got++
+				if got == b.N {
+					return
+				}
+			}
+		}
+	}()
+	for i := 0; i < b.N; i++ {
+		if err := sender.Multicast(accelring.Agreed, payload, "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	<-done
+}

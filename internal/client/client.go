@@ -1,0 +1,239 @@
+// Package client is the library applications use to talk to a ringd
+// daemon over its IPC socket: connect under a name, join and leave named
+// groups, multicast to any set of groups (open-group semantics), and
+// receive totally ordered messages and group membership views.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"accelring/internal/ipc"
+	"accelring/internal/wire"
+)
+
+// Event is something the daemon delivers to a client: a Message or a View.
+type Event interface {
+	isEvent()
+}
+
+// Message is a totally ordered group message.
+type Message struct {
+	// Sender is the private name of the sending client.
+	Sender string
+	// Groups are the destination groups.
+	Groups []string
+	// Service is the delivery guarantee the message was sent with.
+	Service wire.Service
+	// Payload is the application data.
+	Payload []byte
+}
+
+// View is a group membership view, delivered to members whenever the
+// group's membership changes, in the same total order at every member.
+type View struct {
+	// Group is the group name.
+	Group string
+	// Members are the private names of the current members, sorted.
+	Members []string
+}
+
+func (Message) isEvent() {}
+func (View) isEvent()    {}
+
+// Conn is a client connection to a daemon.
+type Conn struct {
+	conn    net.Conn
+	private string
+
+	events chan Event
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ErrClosed is returned by operations on a closed connection.
+var ErrClosed = errors.New("client: connection closed")
+
+// eventQueue is the receive buffer; the daemon disconnects clients that
+// fall too far behind, so the client should drain Events promptly.
+const eventQueue = 8192
+
+// Connect dials a daemon and registers under the given name. network/addr
+// are as in net.Dial ("unix", "/tmp/ringd.sock" for co-located clients).
+func Connect(network, addr, name string) (*Conn, error) {
+	if name == "" {
+		return nil, errors.New("client: empty name")
+	}
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	if err := ipc.WriteFrame(conn, ipc.CmdConnect, ipc.PutString(nil, name)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: connect frame: %w", err)
+	}
+	typ, body, err := ipc.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: reading welcome: %w", err)
+	}
+	if typ != ipc.EvtWelcome {
+		conn.Close()
+		return nil, fmt.Errorf("client: unexpected frame %d before welcome", typ)
+	}
+	private, _, err := ipc.GetString(body)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: bad welcome: %w", err)
+	}
+	c := &Conn{
+		conn:    conn,
+		private: private,
+		events:  make(chan Event, eventQueue),
+	}
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+// PrivateName returns the globally unique name the daemon assigned, e.g.
+// "alice@0.0.0.1".
+func (c *Conn) PrivateName() string { return c.private }
+
+// Events returns the stream of ordered messages and views. It is closed
+// when the connection drops.
+func (c *Conn) Events() <-chan Event { return c.events }
+
+// Join subscribes this client to a group. The resulting view arrives on
+// Events, totally ordered with all other group operations and messages.
+func (c *Conn) Join(group string) error {
+	return c.sendFrame(ipc.CmdJoin, ipc.PutString(nil, group))
+}
+
+// Leave unsubscribes this client from a group.
+func (c *Conn) Leave(group string) error {
+	return c.sendFrame(ipc.CmdLeave, ipc.PutString(nil, group))
+}
+
+// MulticastOptions modify a multicast.
+type MulticastOptions struct {
+	// SelfDiscard asks the daemon not to deliver the message back to this
+	// client even if it is a member of a destination group (Spread's
+	// SELF_DISCARD).
+	SelfDiscard bool
+}
+
+// Multicast sends a message to every member of every listed group, with
+// the requested delivery service. The sender need not be a member of any
+// of the groups (open-group semantics).
+func (c *Conn) Multicast(service wire.Service, payload []byte, groups ...string) error {
+	return c.MulticastWith(MulticastOptions{}, service, payload, groups...)
+}
+
+// MulticastWith is Multicast with options.
+func (c *Conn) MulticastWith(opts MulticastOptions, service wire.Service, payload []byte, groups ...string) error {
+	if len(groups) == 0 {
+		return errors.New("client: no destination groups")
+	}
+	if !service.Valid() {
+		return fmt.Errorf("client: invalid service %d", uint8(service))
+	}
+	var flags byte
+	if opts.SelfDiscard {
+		flags |= 1 // keep in sync with the daemon's flagSelfDiscard
+	}
+	body := make([]byte, 0, 10+len(payload))
+	body = append(body, byte(service), flags)
+	body = ipc.PutStrings(body, groups)
+	body = append(body, payload...)
+	return c.sendFrame(ipc.CmdMulticast, body)
+}
+
+// Close terminates the connection.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	c.wg.Wait()
+	return err
+}
+
+func (c *Conn) sendFrame(typ byte, body []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if err := ipc.WriteFrame(c.conn, typ, body); err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	return nil
+}
+
+func (c *Conn) readLoop() {
+	defer c.wg.Done()
+	defer close(c.events)
+	for {
+		typ, body, err := ipc.ReadFrame(c.conn)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case ipc.EvtMessage:
+			m, err := decodeMessage(body)
+			if err != nil {
+				return
+			}
+			c.events <- m
+		case ipc.EvtView:
+			v, err := decodeView(body)
+			if err != nil {
+				return
+			}
+			c.events <- v
+		}
+	}
+}
+
+func decodeMessage(body []byte) (Message, error) {
+	var m Message
+	if len(body) < 1 {
+		return m, ipc.ErrBadFrame
+	}
+	m.Service = wire.Service(body[0])
+	body = body[1:]
+	var err error
+	m.Sender, body, err = ipc.GetString(body)
+	if err != nil {
+		return m, err
+	}
+	m.Groups, body, err = ipc.GetStrings(body)
+	if err != nil {
+		return m, err
+	}
+	m.Payload = body
+	return m, nil
+}
+
+func decodeView(body []byte) (View, error) {
+	var v View
+	var err error
+	v.Group, body, err = ipc.GetString(body)
+	if err != nil {
+		return v, err
+	}
+	v.Members, _, err = ipc.GetStrings(body)
+	if err != nil {
+		return v, err
+	}
+	return v, nil
+}

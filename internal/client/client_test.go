@@ -1,0 +1,83 @@
+package client
+
+import (
+	"testing"
+
+	"accelring/internal/ipc"
+	"accelring/internal/wire"
+)
+
+func TestDecodeMessage(t *testing.T) {
+	body := []byte{byte(wire.ServiceSafe)}
+	body = ipc.PutString(body, "alice@0.0.0.1")
+	body = ipc.PutStrings(body, []string{"g1", "g2"})
+	body = append(body, []byte("payload")...)
+
+	m, err := decodeMessage(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Sender != "alice@0.0.0.1" || m.Service != wire.ServiceSafe {
+		t.Fatalf("decoded %+v", m)
+	}
+	if len(m.Groups) != 2 || m.Groups[0] != "g1" {
+		t.Fatalf("groups %v", m.Groups)
+	}
+	if string(m.Payload) != "payload" {
+		t.Fatalf("payload %q", m.Payload)
+	}
+}
+
+func TestDecodeMessageTruncated(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{byte(wire.ServiceAgreed)},
+		{byte(wire.ServiceAgreed), 0},
+		{byte(wire.ServiceAgreed), 0, 5, 'a'},
+	}
+	for _, c := range cases {
+		if _, err := decodeMessage(c); err == nil {
+			t.Errorf("decodeMessage(%v) succeeded", c)
+		}
+	}
+}
+
+func TestDecodeView(t *testing.T) {
+	body := ipc.PutString(nil, "room")
+	body = ipc.PutStrings(body, []string{"a@1", "b@2"})
+	v, err := decodeView(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Group != "room" || len(v.Members) != 2 {
+		t.Fatalf("decoded %+v", v)
+	}
+}
+
+func TestDecodeViewTruncated(t *testing.T) {
+	if _, err := decodeView([]byte{0}); err == nil {
+		t.Fatal("accepted truncated view")
+	}
+}
+
+func TestConnectValidatesName(t *testing.T) {
+	if _, err := Connect("unix", "/nonexistent.sock", ""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestConnectDialFailure(t *testing.T) {
+	if _, err := Connect("unix", "/nonexistent-accelring.sock", "x"); err == nil {
+		t.Fatal("dial to nonexistent socket succeeded")
+	}
+}
+
+func TestMulticastValidation(t *testing.T) {
+	c := &Conn{} // not connected; validation happens before any I/O
+	if err := c.Multicast(wire.ServiceAgreed, []byte("x")); err == nil {
+		t.Fatal("multicast with no groups accepted")
+	}
+	if err := c.Multicast(wire.Service(99), []byte("x"), "g"); err == nil {
+		t.Fatal("invalid service accepted")
+	}
+}

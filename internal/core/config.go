@@ -1,0 +1,234 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"accelring/internal/flowctl"
+	"accelring/internal/wire"
+)
+
+// Protocol selects the ordering protocol variant.
+type Protocol uint8
+
+// Protocol variants. ProtocolOriginalRing is the Totem-style baseline the
+// paper compares against: it is exactly the accelerated engine with an
+// accelerated window of zero and the conservative priority method, which
+// the paper notes is identical to the original Ring protocol.
+const (
+	ProtocolOriginalRing Protocol = iota + 1
+	ProtocolAcceleratedRing
+)
+
+// String implements fmt.Stringer.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolOriginalRing:
+		return "original"
+	case ProtocolAcceleratedRing:
+		return "accelerated"
+	default:
+		return fmt.Sprintf("protocol(%d)", uint8(p))
+	}
+}
+
+// PriorityMethod selects how a participant decides when to raise the
+// processing priority of a received token above received data messages
+// (Section III-C of the paper).
+type PriorityMethod uint8
+
+const (
+	// PriorityAggressive (the paper's first method) raises token priority
+	// as soon as any data message the ring predecessor sent in the next
+	// round is processed. It maximizes token speed and is used by the
+	// paper's prototypes.
+	PriorityAggressive PriorityMethod = iota + 1
+	// PriorityConservative (the paper's second method) waits for a data
+	// message the predecessor sent in its post-token phase of the next
+	// round. It is the method shipped in Spread: less sensitive to
+	// misconfiguration, and with an accelerated window of zero it renders
+	// the engine identical to the original Ring protocol.
+	PriorityConservative
+)
+
+// String implements fmt.Stringer.
+func (m PriorityMethod) String() string {
+	switch m {
+	case PriorityAggressive:
+		return "aggressive"
+	case PriorityConservative:
+		return "conservative"
+	default:
+		return fmt.Sprintf("priority(%d)", uint8(m))
+	}
+}
+
+// Default protocol timing. These suit LAN/data-center deployments; the
+// simulator and tests shrink them.
+const (
+	DefaultTokenLossTimeout   = 1 * time.Second
+	DefaultTokenRetransPeriod = 100 * time.Millisecond
+	DefaultJoinPeriod         = 250 * time.Millisecond
+	DefaultConsensusTimeout   = 2 * time.Second
+	DefaultCommitTimeout      = 1 * time.Second
+	DefaultMaxPending         = 50000
+)
+
+// Config configures a protocol engine.
+type Config struct {
+	// MyID is this participant's unique, non-zero identifier.
+	MyID wire.ParticipantID
+	// Protocol selects accelerated or original-ring behaviour. If it is
+	// ProtocolOriginalRing the accelerated window is forced to zero and
+	// the priority method to PriorityConservative.
+	Protocol Protocol
+	// Flow carries the flow control windows. Zero value means defaults.
+	Flow flowctl.Config
+	// Priority selects the token/data priority switching method. Zero
+	// value means PriorityAggressive for the accelerated protocol (the
+	// paper's prototype setting) and PriorityConservative for the
+	// original.
+	Priority PriorityMethod
+
+	// TokenLossTimeout, TokenRetransPeriod, JoinPeriod, ConsensusTimeout
+	// and CommitTimeout configure the protocol timers; zero values mean
+	// defaults.
+	TokenLossTimeout   time.Duration
+	TokenRetransPeriod time.Duration
+	JoinPeriod         time.Duration
+	ConsensusTimeout   time.Duration
+	CommitTimeout      time.Duration
+
+	// MaxPending bounds the queue of submitted-but-unsent application
+	// messages; Submit fails once it is full. Zero means the default.
+	MaxPending int
+
+	// AdaptiveWindow enables AIMD adaptation of the accelerated window:
+	// the window starts at Flow.AcceleratedWindow, halves when a received
+	// token carries a burst of retransmission requests (evidence that the
+	// sending overlap is overrunning buffers), and creeps back up by one
+	// after every clean streak, bounded by the personal window. It
+	// automates the hand-tuning the paper performs per deployment.
+	AdaptiveWindow bool
+
+	// Tracer, when non-nil, receives protocol-level events (state
+	// transitions, token forwards, configuration installs) synchronously
+	// on the protocol goroutine.
+	Tracer Tracer
+
+	// PackThreshold enables Spread-style message packing: consecutive
+	// pending messages with the same service are packed into one protocol
+	// packet while the container payload stays at or below this many
+	// bytes, amortizing per-message costs for small messages. Zero
+	// disables packing. A typical value is 1350 (one protocol packet per
+	// MTU frame).
+	PackThreshold int
+}
+
+// Config validation errors.
+var (
+	ErrNoID          = errors.New("core: participant ID must be non-zero")
+	ErrBadProtocol   = errors.New("core: unknown protocol variant")
+	ErrBacklogFull   = errors.New("core: pending message backlog is full")
+	ErrBadMembership = errors.New("core: invalid ring membership")
+)
+
+// withDefaults returns a copy of c with zero values replaced by defaults
+// and the protocol variant's constraints applied.
+func (c Config) withDefaults() Config {
+	if c.Protocol == 0 {
+		c.Protocol = ProtocolAcceleratedRing
+	}
+	if c.Flow == (flowctl.Config{}) {
+		c.Flow = flowctl.Default()
+	}
+	if c.Protocol == ProtocolOriginalRing {
+		c.Flow.AcceleratedWindow = 0
+		c.Priority = PriorityConservative
+	}
+	if c.Priority == 0 {
+		c.Priority = PriorityAggressive
+	}
+	if c.TokenLossTimeout == 0 {
+		c.TokenLossTimeout = DefaultTokenLossTimeout
+	}
+	if c.TokenRetransPeriod == 0 {
+		c.TokenRetransPeriod = DefaultTokenRetransPeriod
+	}
+	if c.JoinPeriod == 0 {
+		c.JoinPeriod = DefaultJoinPeriod
+	}
+	if c.ConsensusTimeout == 0 {
+		c.ConsensusTimeout = DefaultConsensusTimeout
+	}
+	if c.CommitTimeout == 0 {
+		c.CommitTimeout = DefaultCommitTimeout
+	}
+	if c.MaxPending == 0 {
+		c.MaxPending = DefaultMaxPending
+	}
+	return c
+}
+
+// validate checks a defaulted config.
+func (c Config) validate() error {
+	if c.MyID == 0 {
+		return ErrNoID
+	}
+	if c.Protocol != ProtocolOriginalRing && c.Protocol != ProtocolAcceleratedRing {
+		return fmt.Errorf("%w: %d", ErrBadProtocol, uint8(c.Protocol))
+	}
+	if err := c.Flow.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if c.PackThreshold < 0 || c.PackThreshold > wire.MaxPayload {
+		return fmt.Errorf("core: pack threshold %d out of range [0, %d]", c.PackThreshold, wire.MaxPayload)
+	}
+	return nil
+}
+
+// Stats counts protocol events; all counters are cumulative over the
+// engine's lifetime.
+type Stats struct {
+	// TokensProcessed counts regular tokens accepted and handled.
+	TokensProcessed uint64
+	// TokensDuplicate counts duplicate (retransmitted) tokens discarded.
+	TokensDuplicate uint64
+	// TokenRetransmits counts tokens this participant retransmitted after
+	// a token-retransmission timeout.
+	TokenRetransmits uint64
+	// MsgsSent counts new data messages this participant initiated.
+	MsgsSent uint64
+	// MsgsPostToken counts the subset of MsgsSent multicast after the
+	// token (the accelerated phase).
+	MsgsPostToken uint64
+	// MsgsRetransmitted counts retransmissions answered.
+	MsgsRetransmitted uint64
+	// MsgsReceived counts data messages received (new to this node).
+	MsgsReceived uint64
+	// MsgsDuplicate counts duplicate data messages discarded.
+	MsgsDuplicate uint64
+	// RTRRequested counts retransmission requests this participant added
+	// to the token.
+	RTRRequested uint64
+	// Delivered counts messages delivered to the application (packed
+	// sub-messages count individually).
+	Delivered uint64
+	// PayloadsPacked counts application payloads that travelled inside
+	// packed containers.
+	PayloadsPacked uint64
+	// SafeDelivered counts the subset of Delivered with Safe service.
+	SafeDelivered uint64
+	// Discarded counts messages garbage-collected after stabilizing.
+	Discarded uint64
+	// MembershipChanges counts regular configuration installations.
+	MembershipChanges uint64
+	// AccelWindow is the current effective accelerated window (a gauge;
+	// it only moves when AdaptiveWindow is enabled).
+	AccelWindow int
+	// WindowDecreases counts multiplicative decreases of the adaptive
+	// window; WindowIncreases counts additive increases.
+	WindowDecreases uint64
+	WindowIncreases uint64
+}

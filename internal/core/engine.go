@@ -1,0 +1,322 @@
+// Package core implements the Accelerated Ring ordering protocol of Babay
+// and Amir ("Fast Total Ordering for Modern Data Centers", ICDCS 2016),
+// together with the Totem-style membership algorithm that gives it Extended
+// Virtual Synchrony semantics, and the original Ring protocol baseline the
+// paper compares against.
+//
+// The engine is a deterministic, single-goroutine state machine. It owns no
+// sockets, timers or goroutines: every input (a decoded packet, a timer
+// expiry, an application submission) is a method call, and every output is
+// a slice of Actions the caller must execute in order. The same engine code
+// therefore runs over real UDP multicast sockets, an in-memory test
+// transport, and the discrete-event network simulator used to regenerate
+// the paper's figures.
+package core
+
+import (
+	"fmt"
+
+	"accelring/internal/flowctl"
+	"accelring/internal/msgbuf"
+	"accelring/internal/wire"
+)
+
+// State is the engine's membership state.
+type State uint8
+
+// Engine states, following the Totem membership algorithm.
+const (
+	// StateGather: exchanging join messages to agree on a membership.
+	StateGather State = iota + 1
+	// StateCommit: circulating the commit token for a proposed ring.
+	StateCommit
+	// StateRecovery: exchanging old-ring messages on the new ring.
+	StateRecovery
+	// StateOperational: normal-case total ordering on an installed ring.
+	StateOperational
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateGather:
+		return "gather"
+	case StateCommit:
+		return "commit"
+	case StateRecovery:
+		return "recovery"
+	case StateOperational:
+		return "operational"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// submission is an application message waiting to be initiated.
+type submission struct {
+	payload []byte
+	service wire.Service
+}
+
+// Engine is one protocol participant. It is not safe for concurrent use;
+// the runtime that owns it must serialize all calls.
+type Engine struct {
+	cfg  Config
+	flow *flowctl.Controller
+
+	state         State
+	tokenPriority bool
+
+	// Current ring (the ring whose token circulates; during Recovery this
+	// is already the ring being formed, even though the application-level
+	// configuration change is delivered only when recovery completes).
+	ring    Configuration
+	myIndex int
+	buf     *msgbuf.Buffer
+
+	// Application backlog (head-indexed queue).
+	pending     []submission
+	pendingHead int
+
+	// accelWindow is the effective accelerated window; fixed at
+	// Flow.AcceleratedWindow unless AdaptiveWindow is enabled.
+	accelWindow int
+	// cleanRounds counts consecutive token receipts without a
+	// retransmission burst, for adaptive window increase.
+	cleanRounds int
+
+	// Operational/recovery per-ring state.
+	round        wire.Round // hop count of the last token processed
+	lastTokenSeq uint64     // highest TokenSeq accepted (duplicate filter)
+	prevTokenSeq wire.Seq   // seq of the token received in the previous round
+	aruSentLast  wire.Seq   // aru on the token forwarded last round
+	safeBound    wire.Seq   // min(aru sent this round, aru sent last round)
+	sentToken    *wire.Token
+
+	// Gather state.
+	procSet    map[wire.ParticipantID]bool
+	failSet    map[wire.ParticipantID]bool
+	joins      map[wire.ParticipantID]*wire.JoinMessage
+	maxRingSeq uint64
+
+	// Commit / Recovery state.
+	pendingRing     Configuration
+	commitInfo      []wire.CommitMember
+	oldRing         Configuration
+	oldBuf          *msgbuf.Buffer
+	oldSafeBound    wire.Seq
+	obligations     []*wire.DataMessage
+	obligationsHead int
+	markerSent      bool
+	recoveryMarkers map[wire.ParticipantID]wire.Seq
+
+	stats Stats
+}
+
+// New creates an engine. The engine starts idle: call Start to begin
+// membership formation, or StartWithRing to install a static ring (the
+// paper's normal-case evaluation setup).
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:           cfg,
+		flow:          flowctl.NewController(cfg.Flow),
+		accelWindow:   cfg.Flow.AcceleratedWindow,
+		tokenPriority: true,
+	}, nil
+}
+
+// Config returns the engine's effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// State returns the engine's membership state (zero before Start).
+func (e *Engine) State() State { return e.state }
+
+// Ring returns a copy of the current ring configuration. During membership
+// formation it is the last ring whose token circulated (possibly the ring
+// being formed, before its configuration event has been delivered).
+func (e *Engine) Ring() Configuration { return e.ring.Clone() }
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	st := e.stats
+	st.AccelWindow = e.accelWindow
+	return st
+}
+
+// PendingLen returns the number of submitted-but-uninitiated messages.
+func (e *Engine) PendingLen() int { return len(e.pending) - e.pendingHead }
+
+// TokenHasPriority reports whether the runtime should prefer reading from
+// the token socket over the data socket when both have input available
+// (Section III-C). While false, the token must be processed only when no
+// data message is available.
+func (e *Engine) TokenHasPriority() bool { return e.tokenPriority }
+
+// Submit queues an application message for totally ordered multicast. The
+// message will be initiated on a future token visit, ordered, and delivered
+// back to all ring members (including this one). Submit fails when the
+// backlog is full, providing backpressure.
+func (e *Engine) Submit(payload []byte, service wire.Service) error {
+	if !service.Valid() {
+		return fmt.Errorf("core: invalid service %d", uint8(service))
+	}
+	if len(payload) > wire.MaxPayload {
+		return fmt.Errorf("core: payload %d exceeds maximum %d", len(payload), wire.MaxPayload)
+	}
+	if e.PendingLen() >= e.cfg.MaxPending {
+		return ErrBacklogFull
+	}
+	// FIFO and Causal are provided via the Agreed machinery: the token
+	// ring's total order respects causality (Section II).
+	if service == wire.ServiceFIFO || service == wire.ServiceCausal {
+		service = wire.ServiceAgreed
+	}
+	e.pending = append(e.pending, submission{payload: payload, service: service})
+	return nil
+}
+
+// popPending removes and returns the oldest backlog entry. The caller must
+// ensure the backlog is non-empty.
+func (e *Engine) popPending() submission {
+	s := e.pending[e.pendingHead]
+	e.pending[e.pendingHead] = submission{} // release payload
+	e.pendingHead++
+	if e.pendingHead > 64 && e.pendingHead*2 >= len(e.pending) {
+		n := copy(e.pending, e.pending[e.pendingHead:])
+		e.pending = e.pending[:n]
+		e.pendingHead = 0
+	}
+	return s
+}
+
+// Start begins membership formation from scratch: the engine multicasts
+// join messages and will eventually install a ring — a singleton one if no
+// other participant is reachable.
+func (e *Engine) Start() []Action {
+	return e.enterGather()
+}
+
+// StartWithRing installs a static ring directly, skipping membership
+// formation: every participant must be started with the identical member
+// list, and the representative (the smallest ID, which must be first after
+// sorting) injects the first token. This mirrors the paper's protocol
+// description, which assumes membership has been established and the first
+// regular token sent. The installed configuration is delivered as an
+// application-visible event.
+func (e *Engine) StartWithRing(members []wire.ParticipantID) ([]Action, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("%w: empty member list", ErrBadMembership)
+	}
+	sorted := sortedIDs(members)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return nil, fmt.Errorf("%w: duplicate member %s", ErrBadMembership, sorted[i])
+		}
+	}
+	cfg := Configuration{ID: wire.RingID{Rep: sorted[0], Seq: 4}, Members: sorted}
+	idx := cfg.indexOf(e.cfg.MyID)
+	if idx < 0 {
+		return nil, fmt.Errorf("%w: %s not in member list", ErrBadMembership, e.cfg.MyID)
+	}
+	e.installRing(cfg)
+	e.setState(StateOperational)
+	e.stats.MembershipChanges++
+	e.traceConfig(cfg, false)
+	actions := []Action{
+		DeliverConfig{Config: cfg.Clone(), Transitional: false},
+		SetTimer{Kind: TimerTokenLoss, After: e.cfg.TokenLossTimeout},
+	}
+	if idx == 0 {
+		// The representative injects the first token by processing a
+		// synthetic initial token locally.
+		initial := &wire.Token{RingID: cfg.ID, TokenSeq: 1}
+		actions = append(actions, e.handleRegularToken(initial)...)
+	}
+	return actions, nil
+}
+
+// installRing resets all per-ring protocol state for a newly installed or
+// forming ring. The caller sets e.state.
+func (e *Engine) installRing(cfg Configuration) {
+	e.ring = cfg
+	e.myIndex = cfg.indexOf(e.cfg.MyID)
+	e.buf = msgbuf.New(0)
+	e.round = 0
+	e.lastTokenSeq = 0
+	e.prevTokenSeq = 0
+	e.aruSentLast = 0
+	e.safeBound = 0
+	e.sentToken = nil
+	e.markerSent = false
+	e.recoveryMarkers = nil
+	e.tokenPriority = true
+	e.flow.Reset()
+}
+
+// successor returns the next participant on the ring after this one.
+func (e *Engine) successor() wire.ParticipantID {
+	return e.ring.Members[(e.myIndex+1)%len(e.ring.Members)]
+}
+
+// predecessor returns the previous participant on the ring.
+func (e *Engine) predecessor() wire.ParticipantID {
+	n := len(e.ring.Members)
+	return e.ring.Members[(e.myIndex+n-1)%n]
+}
+
+// HandleTimer processes a timer expiry previously requested via SetTimer.
+func (e *Engine) HandleTimer(kind TimerKind) []Action {
+	switch kind {
+	case TimerTokenLoss:
+		if e.state == StateOperational || e.state == StateRecovery {
+			return e.enterGather()
+		}
+	case TimerTokenRetrans:
+		if (e.state == StateOperational || e.state == StateRecovery) && e.sentToken != nil {
+			e.stats.TokenRetransmits++
+			return []Action{
+				SendToken{To: e.successor(), Token: e.sentToken.Clone()},
+				SetTimer{Kind: TimerTokenRetrans, After: e.cfg.TokenRetransPeriod},
+			}
+		}
+	case TimerJoin:
+		if e.state == StateGather {
+			return []Action{
+				SendJoin{Join: e.makeJoin()},
+				SetTimer{Kind: TimerJoin, After: e.cfg.JoinPeriod},
+			}
+		}
+	case TimerConsensus:
+		if e.state == StateGather {
+			return e.consensusTimeout()
+		}
+	case TimerCommit:
+		if e.state == StateCommit {
+			return e.enterGather()
+		}
+	}
+	return nil
+}
+
+// sortedIDs returns a sorted copy of ids.
+func sortedIDs(ids []wire.ParticipantID) []wire.ParticipantID {
+	out := make([]wire.ParticipantID, len(ids))
+	copy(out, ids)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func minSeq(a, b wire.Seq) wire.Seq {
+	if a < b {
+		return a
+	}
+	return b
+}

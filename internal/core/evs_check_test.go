@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"accelring/internal/wire"
+)
+
+// This file implements a checker for the Extended Virtual Synchrony axioms
+// over the event histories the harness records, and applies it to a rough
+// mixed-fault scenario. The checker verifies, per node and across nodes:
+//
+//  1. sane configuration sequencing: messages are only delivered after a
+//     first regular configuration; at most one transitional configuration
+//     between regular ones;
+//  2. no duplicate deliveries at a node;
+//  3. agreement: two nodes that install the same regular configuration
+//     (same ring ID) deliver prefix-consistent message sequences between
+//     that installation and their respective next configuration event;
+//  4. per-sender FIFO within each node's whole history.
+
+// epoch is the stretch of messages one node delivered in one regular
+// configuration.
+type epoch struct {
+	id   wire.RingID
+	msgs []string
+}
+
+// nodeEpochs splits a node's history into per-configuration epochs.
+// It fails the test on axiom 1 or 2 violations.
+func nodeEpochs(t *testing.T, n *hnode) []epoch {
+	t.Helper()
+	var epochs []epoch
+	var cur *epoch
+	transSinceRegular := 0
+	seen := map[string]bool{}
+	for _, d := range n.delivered {
+		if d.msg == nil {
+			if d.trans {
+				transSinceRegular++
+				if transSinceRegular > 1 {
+					t.Fatalf("node %s: two transitional configs without a regular one", n.id)
+				}
+				// Messages after the transitional config belong to the
+				// transitional epoch; we close the regular epoch here.
+				cur = nil
+				continue
+			}
+			transSinceRegular = 0
+			epochs = append(epochs, epoch{id: d.config.ID})
+			cur = &epochs[len(epochs)-1]
+			continue
+		}
+		if cur == nil && len(epochs) == 0 {
+			t.Fatalf("node %s: delivery before any configuration", n.id)
+		}
+		key := string(d.msg.Payload)
+		if seen[key] {
+			t.Fatalf("node %s: duplicate delivery %q", n.id, key)
+		}
+		seen[key] = true
+		if cur != nil {
+			cur.msgs = append(cur.msgs, key)
+		}
+	}
+	return epochs
+}
+
+// checkEVS applies the axioms across all nodes of the harness.
+func (h *harness) checkEVS() {
+	h.t.Helper()
+	perNode := make(map[wire.ParticipantID][]epoch, len(h.nodes))
+	for _, n := range h.nodes {
+		perNode[n.id] = nodeEpochs(h.t, n)
+	}
+	// Axiom 3: prefix consistency within shared regular configurations.
+	for i, a := range h.nodes {
+		for _, b := range h.nodes[i+1:] {
+			for _, ea := range perNode[a.id] {
+				for _, eb := range perNode[b.id] {
+					if ea.id != eb.id {
+						continue
+					}
+					n := len(ea.msgs)
+					if len(eb.msgs) < n {
+						n = len(eb.msgs)
+					}
+					for k := 0; k < n; k++ {
+						if ea.msgs[k] != eb.msgs[k] {
+							h.t.Fatalf("config %v: nodes %s and %s diverge at %d: %q vs %q",
+								ea.id, a.id, b.id, k, ea.msgs[k], eb.msgs[k])
+						}
+					}
+				}
+			}
+		}
+	}
+	// Axiom 4: per-sender FIFO over each node's full history.
+	for _, n := range h.nodes {
+		last := map[wire.ParticipantID]int{}
+		for _, d := range n.delivered {
+			if d.msg == nil {
+				continue
+			}
+			var sender, idx int
+			if _, err := fmt.Sscanf(string(d.msg.Payload), "m-%d-%d", &sender, &idx); err != nil {
+				continue // not a harness payload
+			}
+			pid := wire.ParticipantID(sender)
+			if prev, ok := last[pid]; ok && idx <= prev {
+				h.t.Fatalf("node %s: sender %s FIFO violated: %d after %d", n.id, pid, idx, prev)
+			}
+			last[pid] = idx
+		}
+	}
+}
+
+func TestEVSCheckerOnCleanRun(t *testing.T) {
+	h := newHarness(t, 4, accelConfig())
+	h.startStatic()
+	for i := 0; i < 20; i++ {
+		for id := wire.ParticipantID(1); id <= 4; id++ {
+			h.submit(id, payload(id, i), wire.ServiceAgreed)
+		}
+	}
+	h.run(2 * time.Second)
+	h.checkAllDelivered(80, 1, 2, 3, 4)
+	h.checkEVS()
+}
+
+func TestEVSUnderMixedFaults(t *testing.T) {
+	// The gauntlet: loss from the start, a crash mid-stream, a partition,
+	// more traffic in both halves, then a merge — EVS axioms must hold
+	// throughout for every node that is still alive.
+	h := newHarness(t, 5, accelConfig())
+	h.dropData = randomLoss(1234, 0.03)
+	h.startStatic()
+
+	send := func(base int) {
+		for i := 0; i < 10; i++ {
+			for id := wire.ParticipantID(1); id <= 5; id++ {
+				if h.node(id).crashed {
+					continue
+				}
+				h.submit(id, payload(id, base+i), wire.ServiceAgreed)
+			}
+		}
+	}
+	send(0)
+	h.run(5 * time.Millisecond)
+	h.crash(5)
+	h.waitConfig(5*time.Second, []wire.ParticipantID{1, 2, 3, 4}, 1, 2, 3, 4)
+	send(100)
+	h.run(500 * time.Millisecond)
+
+	// Partition {1,2} / {3,4}.
+	h.partition[3] = 1
+	h.partition[4] = 1
+	h.waitConfig(5*time.Second, []wire.ParticipantID{1, 2}, 1, 2)
+	h.waitConfig(5*time.Second, []wire.ParticipantID{3, 4}, 3, 4)
+	for i := 0; i < 10; i++ {
+		h.submit(1, payload(1, 200+i), wire.ServiceSafe)
+		h.submit(3, payload(3, 200+i), wire.ServiceSafe)
+	}
+	h.run(1 * time.Second)
+
+	// Merge back and push more traffic.
+	h.partition = map[wire.ParticipantID]int{}
+	h.submit(2, payload(2, 300), wire.ServiceAgreed)
+	h.waitConfig(10*time.Second, []wire.ParticipantID{1, 2, 3, 4}, 1, 2, 3, 4)
+	send(400)
+	h.run(3 * time.Second)
+
+	// The crashed node's history must also satisfy the axioms up to its
+	// death; checkEVS covers all nodes including it.
+	h.checkEVS()
+}
+
+func TestEVSUnderTokenLossStorm(t *testing.T) {
+	// Repeated token loss forces membership churn without any crash; the
+	// ring must keep re-forming with all members and histories must stay
+	// consistent.
+	h := newHarness(t, 3, accelConfig())
+	dropped := 0
+	h.dropToken = func(from, to wire.ParticipantID, tok *wire.Token) bool {
+		dropped++
+		return dropped%40 == 0 // periodic token loss bursts past retransmission
+	}
+	h.startStatic()
+	for i := 0; i < 60; i++ {
+		for id := wire.ParticipantID(1); id <= 3; id++ {
+			h.submit(id, payload(id, i), wire.ServiceAgreed)
+		}
+	}
+	h.run(10 * time.Second)
+	h.checkAllDelivered(180, 1, 2, 3)
+	h.checkEVS()
+}

@@ -1,0 +1,411 @@
+package daemon
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+
+	"accelring"
+	"accelring/internal/ipc"
+	"accelring/internal/wire"
+)
+
+// Config configures a daemon.
+type Config struct {
+	// Node is the daemon's ring participant, already started. The daemon
+	// takes ownership of draining its events and closing it.
+	Node *accelring.Node
+	// Listener accepts client connections (Unix socket for co-located
+	// clients, per the paper's recommendation; TCP also works). The
+	// daemon takes ownership.
+	Listener net.Listener
+	// Logger receives operational messages; nil disables logging.
+	Logger *log.Logger
+}
+
+// Daemon serves local clients, ordering their messages and group
+// membership operations through the ring.
+type Daemon struct {
+	node *accelring.Node
+	ln   net.Listener
+	log  *log.Logger
+
+	// reqCh funnels client requests into the main loop.
+	reqCh chan request
+	// unregister removes a dead session.
+	unregCh chan *session
+
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+	stopCh   chan struct{}
+
+	// state owned by the main loop
+	sessions map[*session]bool
+	groups   map[string][]string // group → sorted private member names
+	local    map[string]*session // private member name → session
+	ring     accelring.Configuration
+}
+
+type request struct {
+	sess *session
+	typ  byte
+	body []byte
+}
+
+// New creates a daemon and starts serving.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Node == nil || cfg.Listener == nil {
+		return nil, fmt.Errorf("daemon: Node and Listener are required")
+	}
+	d := &Daemon{
+		node:     cfg.Node,
+		ln:       cfg.Listener,
+		log:      cfg.Logger,
+		reqCh:    make(chan request, 256),
+		unregCh:  make(chan *session, 16),
+		stopCh:   make(chan struct{}),
+		sessions: make(map[*session]bool),
+		groups:   make(map[string][]string),
+		local:    make(map[string]*session),
+	}
+	d.wg.Add(2)
+	go d.acceptLoop()
+	go d.mainLoop()
+	return d, nil
+}
+
+// Close shuts the daemon down: client connections, the listener and the
+// ring node.
+func (d *Daemon) Close() error {
+	d.stopOnce.Do(func() { close(d.stopCh) })
+	d.ln.Close()
+	err := d.node.Close()
+	d.wg.Wait()
+	return err
+}
+
+func (d *Daemon) logf(format string, args ...any) {
+	if d.log != nil {
+		d.log.Printf(format, args...)
+	}
+}
+
+// memberName builds the globally unique private name of a local client.
+func (d *Daemon) memberName(client string) string {
+	return client + "@" + d.node.ID().String()
+}
+
+// memberDaemon extracts the daemon part of a private member name.
+func memberDaemon(member string) string {
+	if i := strings.LastIndexByte(member, '@'); i >= 0 {
+		return member[i+1:]
+	}
+	return ""
+}
+
+func (d *Daemon) acceptLoop() {
+	defer d.wg.Done()
+	for {
+		conn, err := d.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s := newSession(d, conn)
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			s.readLoop()
+		}()
+	}
+}
+
+// mainLoop owns all daemon state: it applies ordered ring events and
+// serves client requests, strictly serialized.
+func (d *Daemon) mainLoop() {
+	defer d.wg.Done()
+	defer d.closeAllSessions()
+	events := d.node.Events()
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				return
+			}
+			d.applyRingEvent(ev)
+		case req := <-d.reqCh:
+			d.applyRequest(req)
+		case s := <-d.unregCh:
+			d.dropSession(s)
+		case <-d.stopCh:
+			return
+		}
+	}
+}
+
+func (d *Daemon) closeAllSessions() {
+	for s := range d.sessions {
+		s.close()
+	}
+}
+
+// applyRequest handles one client frame.
+func (d *Daemon) applyRequest(req request) {
+	s := req.sess
+	switch req.typ {
+	case ipc.CmdConnect:
+		name, _, err := ipc.GetString(req.body)
+		if err != nil || name == "" || strings.ContainsAny(name, "@ \n") {
+			s.close()
+			return
+		}
+		private := d.memberName(name)
+		if _, taken := d.local[private]; taken {
+			s.close()
+			return
+		}
+		s.member = private
+		d.sessions[s] = true
+		d.local[private] = s
+		s.send(ipc.EvtWelcome, ipc.PutString(nil, private))
+	case ipc.CmdJoin, ipc.CmdLeave:
+		if s.member == "" {
+			s.close()
+			return
+		}
+		group, _, err := ipc.GetString(req.body)
+		if err != nil || group == "" || len(group) > wire.MaxGroupName {
+			s.close()
+			return
+		}
+		typ := ringJoin
+		if req.typ == ipc.CmdLeave {
+			typ = ringLeave
+		}
+		p := membershipPayload{Member: s.member, Group: group}
+		if err := d.node.Submit(p.encode(typ), accelring.Agreed); err != nil {
+			d.logf("daemon: submit membership: %v", err)
+		}
+	case ipc.CmdMulticast:
+		if s.member == "" {
+			s.close()
+			return
+		}
+		if len(req.body) < 2 {
+			s.close()
+			return
+		}
+		svc := wire.Service(req.body[0])
+		flags := req.body[1]
+		if !svc.Valid() {
+			s.close()
+			return
+		}
+		groups, rest, err := ipc.GetStrings(req.body[2:])
+		if err != nil || len(groups) == 0 {
+			s.close()
+			return
+		}
+		p := appPayload{Sender: s.member, Flags: flags, Groups: groups, Payload: rest}
+		encoded, err := p.encode()
+		if err != nil {
+			s.close()
+			return
+		}
+		if err := d.node.Submit(encoded, svc); err != nil {
+			d.logf("daemon: submit: %v", err)
+		}
+	default:
+		s.close()
+	}
+}
+
+// dropSession removes a disconnected client, multicasting leaves for every
+// group it belonged to so all daemons converge.
+func (d *Daemon) dropSession(s *session) {
+	if !d.sessions[s] && s.member == "" {
+		return
+	}
+	delete(d.sessions, s)
+	if s.member != "" {
+		delete(d.local, s.member)
+		for group, members := range d.groups {
+			if containsString(members, s.member) {
+				p := membershipPayload{Member: s.member, Group: group}
+				if err := d.node.Submit(p.encode(ringLeave), accelring.Agreed); err != nil {
+					d.logf("daemon: submit leave: %v", err)
+				}
+			}
+		}
+		s.member = ""
+	}
+	s.close()
+}
+
+// applyRingEvent applies one totally ordered ring event.
+func (d *Daemon) applyRingEvent(ev accelring.Event) {
+	switch e := ev.(type) {
+	case accelring.Message:
+		d.applyRingMessage(e)
+	case accelring.ConfigChange:
+		if !e.Transitional {
+			d.applyRingConfig(e.Config)
+		}
+	}
+}
+
+func (d *Daemon) applyRingMessage(m accelring.Message) {
+	if len(m.Payload) == 0 {
+		return
+	}
+	typ, body := m.Payload[0], m.Payload[1:]
+	switch typ {
+	case ringApp:
+		p, err := decodeApp(body)
+		if err != nil {
+			d.logf("daemon: bad app payload from %s: %v", m.Sender, err)
+			return
+		}
+		d.routeApp(p, m.Service)
+	case ringJoin, ringLeave:
+		p, err := decodeMembership(body)
+		if err != nil {
+			d.logf("daemon: bad membership payload from %s: %v", m.Sender, err)
+			return
+		}
+		if typ == ringJoin {
+			d.applyJoin(p.Member, p.Group)
+		} else {
+			d.applyLeave(p.Member, p.Group)
+		}
+	}
+}
+
+// routeApp delivers an ordered application message to each local client
+// that belongs to any of the destination groups — exactly once, even if it
+// belongs to several.
+func (d *Daemon) routeApp(p *appPayload, svc wire.Service) {
+	delivered := make(map[*session]bool)
+	body := make([]byte, 0, 16+len(p.Sender)+len(p.Payload))
+	body = append(body, byte(svc))
+	body = ipc.PutString(body, p.Sender)
+	body = ipc.PutStrings(body, p.Groups)
+	body = append(body, p.Payload...)
+	for _, group := range p.Groups {
+		for _, member := range d.groups[group] {
+			s := d.local[member]
+			if s == nil || delivered[s] {
+				continue
+			}
+			if p.Flags&flagSelfDiscard != 0 && member == p.Sender {
+				continue
+			}
+			delivered[s] = true
+			s.send(ipc.EvtMessage, body)
+		}
+	}
+}
+
+// applyJoin updates a group view and notifies local members.
+func (d *Daemon) applyJoin(member, group string) {
+	members := d.groups[group]
+	if containsString(members, member) {
+		return
+	}
+	members = append(members, member)
+	sort.Strings(members)
+	d.groups[group] = members
+	d.sendView(group)
+}
+
+// applyLeave updates a group view and notifies local members.
+func (d *Daemon) applyLeave(member, group string) {
+	members := d.groups[group]
+	idx := sort.SearchStrings(members, member)
+	if idx >= len(members) || members[idx] != member {
+		return
+	}
+	members = append(members[:idx], members[idx+1:]...)
+	if len(members) == 0 {
+		delete(d.groups, group)
+	} else {
+		d.groups[group] = members
+	}
+	d.sendView(group)
+	// The departed member also learns it left, if local.
+	if s := d.local[member]; s != nil {
+		s.send(ipc.EvtView, encodeView(group, d.groups[group]))
+	}
+}
+
+// applyRingConfig reconciles groups with a new daemon-level membership:
+// clients of daemons that left the configuration are removed from every
+// group (their daemons will re-join them through recovery if they merge
+// back later).
+func (d *Daemon) applyRingConfig(cfg accelring.Configuration) {
+	d.ring = cfg
+	alive := make(map[string]bool, len(cfg.Members))
+	for _, id := range cfg.Members {
+		alive[id.String()] = true
+	}
+	for group, members := range d.groups {
+		kept := members[:0]
+		changed := false
+		for _, m := range members {
+			if alive[memberDaemon(m)] {
+				kept = append(kept, m)
+			} else {
+				changed = true
+			}
+		}
+		if !changed {
+			continue
+		}
+		if len(kept) == 0 {
+			delete(d.groups, group)
+		} else {
+			d.groups[group] = kept
+		}
+		d.sendView(group)
+	}
+	// Re-announce local memberships to daemons that merged in: joins are
+	// idempotent, and ordering them through the ring rebuilds a consistent
+	// view everywhere after a partition heal.
+	for group, members := range d.groups {
+		for _, m := range members {
+			if d.local[m] != nil {
+				p := membershipPayload{Member: m, Group: group}
+				if err := d.node.Submit(p.encode(ringJoin), accelring.Agreed); err != nil {
+					d.logf("daemon: re-announce join: %v", err)
+				}
+			}
+		}
+	}
+}
+
+// sendView sends the current view of a group to its local members.
+func (d *Daemon) sendView(group string) {
+	members := d.groups[group]
+	body := encodeView(group, members)
+	for _, m := range members {
+		if s := d.local[m]; s != nil {
+			s.send(ipc.EvtView, body)
+		}
+	}
+}
+
+func encodeView(group string, members []string) []byte {
+	body := ipc.PutString(nil, group)
+	return ipc.PutStrings(body, members)
+}
+
+func containsString(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,99 @@
+// Package daemon implements the Spread-like daemon architecture evaluated
+// in the paper: a ring participant process that serves local clients over
+// IPC sockets, manages named groups whose membership changes are totally
+// ordered through the ring, and supports multi-group multicast with
+// open-group semantics (senders need not be members).
+package daemon
+
+import (
+	"fmt"
+
+	"accelring/internal/ipc"
+	"accelring/internal/wire"
+)
+
+// Ring payload types: what daemons order through the ring on behalf of
+// clients. The first byte of every ring payload is one of these.
+const (
+	ringApp byte = iota + 1
+	ringJoin
+	ringLeave
+)
+
+// Flags carried by application messages through the ring and on the
+// client protocol.
+const (
+	// flagSelfDiscard asks the sender's daemon not to deliver the message
+	// back to the sending client (Spread's SELF_DISCARD).
+	flagSelfDiscard byte = 1 << iota
+)
+
+// appPayload is a client message ordered through the ring.
+type appPayload struct {
+	Sender  string // private member name, e.g. "alice@0.0.0.1"
+	Flags   byte
+	Groups  []string
+	Payload []byte
+}
+
+func (p *appPayload) encode() ([]byte, error) {
+	if len(p.Groups) > wire.MaxGroups {
+		return nil, fmt.Errorf("daemon: %d groups exceeds %d", len(p.Groups), wire.MaxGroups)
+	}
+	out := make([]byte, 0, 8+len(p.Sender)+len(p.Payload)+16*len(p.Groups))
+	out = append(out, ringApp, p.Flags)
+	out = ipc.PutString(out, p.Sender)
+	out = ipc.PutStrings(out, p.Groups)
+	return append(out, p.Payload...), nil
+}
+
+func decodeApp(body []byte) (*appPayload, error) {
+	if len(body) < 1 {
+		return nil, ipc.ErrBadFrame
+	}
+	var p appPayload
+	p.Flags = body[0]
+	body = body[1:]
+	var err error
+	p.Sender, body, err = ipc.GetString(body)
+	if err != nil {
+		return nil, err
+	}
+	p.Groups, body, err = ipc.GetStrings(body)
+	if err != nil {
+		return nil, err
+	}
+	p.Payload = body
+	return &p, nil
+}
+
+// membershipPayload is a group join/leave ordered through the ring.
+type membershipPayload struct {
+	Member string
+	Group  string
+}
+
+func (p *membershipPayload) encode(typ byte) []byte {
+	out := make([]byte, 0, 8+len(p.Member)+len(p.Group))
+	out = append(out, typ)
+	out = ipc.PutString(out, p.Member)
+	out = ipc.PutString(out, p.Group)
+	return out
+}
+
+func decodeMembership(body []byte) (*membershipPayload, error) {
+	var p membershipPayload
+	var err error
+	p.Member, body, err = ipc.GetString(body)
+	if err != nil {
+		return nil, err
+	}
+	p.Group, body, err = ipc.GetString(body)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) != 0 {
+		return nil, ipc.ErrBadFrame
+	}
+	return &p, nil
+}

@@ -1,0 +1,111 @@
+package daemon
+
+import (
+	"net"
+	"sync"
+
+	"accelring/internal/ipc"
+)
+
+// sessionQueue is the outbound frame queue depth per client; a client that
+// falls this far behind is disconnected rather than allowed to stall the
+// daemon.
+const sessionQueue = 8192
+
+// session is one connected client.
+type session struct {
+	d    *Daemon
+	conn net.Conn
+
+	// member is the client's private name once connected (owned by the
+	// daemon main loop).
+	member string
+
+	out       chan outFrame
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+type outFrame struct {
+	typ  byte
+	body []byte
+}
+
+func newSession(d *Daemon, conn net.Conn) *session {
+	s := &session{
+		d:      d,
+		conn:   conn,
+		out:    make(chan outFrame, sessionQueue),
+		closed: make(chan struct{}),
+	}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		s.writeLoop()
+	}()
+	return s
+}
+
+// readLoop pumps client frames into the daemon's main loop.
+func (s *session) readLoop() {
+	defer s.unregister()
+	for {
+		typ, body, err := ipc.ReadFrame(s.conn)
+		if err != nil {
+			return
+		}
+		select {
+		case s.d.reqCh <- request{sess: s, typ: typ, body: body}:
+		case <-s.d.stopCh:
+			return
+		case <-s.closed:
+			return
+		}
+	}
+}
+
+// writeLoop drains the outbound queue onto the socket.
+func (s *session) writeLoop() {
+	for {
+		select {
+		case f := <-s.out:
+			if err := ipc.WriteFrame(s.conn, f.typ, f.body); err != nil {
+				s.unregister()
+				return
+			}
+		case <-s.closed:
+			return
+		}
+	}
+}
+
+// send enqueues a frame for the client; a client too slow to drain its
+// queue is disconnected (ordered delivery to the ring must not block on a
+// stuck client).
+func (s *session) send(typ byte, body []byte) {
+	select {
+	case s.out <- outFrame{typ: typ, body: body}:
+	case <-s.closed:
+	default:
+		s.d.logf("daemon: disconnecting slow client %s", s.member)
+		s.unregister()
+	}
+}
+
+// unregister asks the main loop to drop this session.
+func (s *session) unregister() {
+	select {
+	case s.d.unregCh <- s:
+	case <-s.d.stopCh:
+		s.close()
+	}
+}
+
+// close terminates the connection; safe to call multiple times and from
+// any goroutine.
+func (s *session) close() {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		s.conn.Close()
+	})
+}

@@ -1,0 +1,174 @@
+// Package flowctl implements the token-ring flow control of the Accelerated
+// Ring protocol: the personal and global windows, the token's flow control
+// count (fcc) accounting, the max-seq-gap bound that limits how far the
+// sequence frontier may run ahead of global stability, and the split of a
+// round's new messages into pre-token and post-token phases.
+//
+// All computations are pure except for the one piece of per-participant
+// state the protocol requires: the number of multicasts this participant
+// sent in the previous round, which is subtracted from the token's fcc when
+// it comes back around.
+package flowctl
+
+import (
+	"errors"
+	"fmt"
+
+	"accelring/internal/wire"
+)
+
+// Default window values. They suit an 8-node ring on a gigabit-class
+// network and match the magnitudes used in the paper's evaluation; the
+// benchmark harness tunes them per experiment exactly as the authors tuned
+// Spread's.
+const (
+	DefaultPersonalWindow    = 60
+	DefaultGlobalWindow      = 300
+	DefaultAcceleratedWindow = 20
+	DefaultMaxSeqGap         = 4000
+)
+
+// Config carries the flow control parameters of one participant.
+type Config struct {
+	// PersonalWindow is the maximum number of new messages one
+	// participant may initiate in a single token round.
+	PersonalWindow int
+	// GlobalWindow is the maximum total number of multicasts (new
+	// messages plus retransmissions) all participants combined may send
+	// in a single token round, enforced via the token's fcc field.
+	GlobalWindow int
+	// AcceleratedWindow is the maximum number of messages a participant
+	// may multicast after forwarding the token (the post-token phase).
+	// Zero disables acceleration, yielding the original Ring protocol's
+	// sending pattern.
+	AcceleratedWindow int
+	// MaxSeqGap bounds how far the highest assigned sequence number may
+	// run ahead of the globally received (Global ARU) frontier, which in
+	// turn bounds every participant's buffer occupancy.
+	MaxSeqGap int
+}
+
+// Validation errors.
+var (
+	ErrNonPositiveWindow = errors.New("flowctl: windows must be positive")
+	ErrAccelTooLarge     = errors.New("flowctl: accelerated window exceeds personal window")
+	ErrGapTooSmall       = errors.New("flowctl: max seq gap smaller than global window")
+)
+
+// Default returns the default flow control configuration.
+func Default() Config {
+	return Config{
+		PersonalWindow:    DefaultPersonalWindow,
+		GlobalWindow:      DefaultGlobalWindow,
+		AcceleratedWindow: DefaultAcceleratedWindow,
+		MaxSeqGap:         DefaultMaxSeqGap,
+	}
+}
+
+// Validate checks the configuration for values that would stall or break
+// the protocol.
+func (c Config) Validate() error {
+	if c.PersonalWindow <= 0 || c.GlobalWindow <= 0 || c.MaxSeqGap <= 0 {
+		return fmt.Errorf("%w: personal %d, global %d, gap %d",
+			ErrNonPositiveWindow, c.PersonalWindow, c.GlobalWindow, c.MaxSeqGap)
+	}
+	if c.AcceleratedWindow < 0 {
+		return fmt.Errorf("%w: accelerated %d", ErrNonPositiveWindow, c.AcceleratedWindow)
+	}
+	if c.AcceleratedWindow > c.PersonalWindow {
+		return fmt.Errorf("%w: accelerated %d > personal %d",
+			ErrAccelTooLarge, c.AcceleratedWindow, c.PersonalWindow)
+	}
+	if c.MaxSeqGap < c.GlobalWindow {
+		// A gap bound below the global window would let the window
+		// starve senders even when all buffers are empty.
+		return fmt.Errorf("%w: gap %d < global %d", ErrGapTooSmall, c.MaxSeqGap, c.GlobalWindow)
+	}
+	return nil
+}
+
+// Accelerated reports whether the configuration enables post-token sending.
+func (c Config) Accelerated() bool { return c.AcceleratedWindow > 0 }
+
+// PreTokenCount returns how many of totalNew new messages must be multicast
+// before forwarding the token; the remainder (at most AcceleratedWindow) is
+// sent in the post-token phase.
+func (c Config) PreTokenCount(totalNew int) int {
+	pre := totalNew - c.AcceleratedWindow
+	if pre < 0 {
+		return 0
+	}
+	return pre
+}
+
+// Controller tracks the single piece of cross-round flow control state and
+// evaluates the per-round sending budget.
+type Controller struct {
+	cfg Config
+	// sentLastRound is the number of multicasts (new + retransmissions)
+	// this participant sent in the previous token round; the protocol
+	// subtracts it from the incoming token's fcc.
+	sentLastRound int
+}
+
+// NewController creates a controller with the given (validated) config.
+func NewController(cfg Config) *Controller {
+	return &Controller{cfg: cfg}
+}
+
+// Config returns the controller's configuration.
+func (fc *Controller) Config() Config { return fc.cfg }
+
+// SentLastRound returns the number of multicasts sent in the previous round.
+func (fc *Controller) SentLastRound() int { return fc.sentLastRound }
+
+// Budget computes the maximum number of new messages this participant may
+// initiate this round (Section III-A1 of the paper): the minimum of
+//
+//	pending            — application messages waiting to be sent,
+//	PersonalWindow,
+//	GlobalWindow − fcc − numRetrans,
+//	GlobalARU + MaxSeqGap − tokenSeq.
+//
+// fcc is the flow control count of the received token after subtracting
+// this participant's own sends from last round, numRetrans the number of
+// retransmissions it is about to send this round, tokenSeq the received
+// token's seq, and globalARU the highest sequence number known received by
+// all participants.
+func (fc *Controller) Budget(pending, numRetrans int, fcc int, tokenSeq, globalARU wire.Seq) int {
+	budget := pending
+	if fc.cfg.PersonalWindow < budget {
+		budget = fc.cfg.PersonalWindow
+	}
+	if g := fc.cfg.GlobalWindow - fcc - numRetrans; g < budget {
+		budget = g
+	}
+	// Sequence-gap bound, computed in signed arithmetic: tokenSeq may
+	// exceed globalARU + MaxSeqGap when stability stalls.
+	gap := int64(globalARU) + int64(fc.cfg.MaxSeqGap) - int64(tokenSeq)
+	if gap < int64(budget) {
+		budget = int(gap)
+	}
+	if budget < 0 {
+		budget = 0
+	}
+	return budget
+}
+
+// RoundFCC computes the fcc value for the outgoing token and records this
+// round's sends for next round's accounting. receivedFCC is the fcc field
+// of the received token; sentThisRound is the number of multicasts (new +
+// retransmissions) this participant sends in the current round.
+func (fc *Controller) RoundFCC(receivedFCC int, sentThisRound int) int {
+	out := receivedFCC - fc.sentLastRound + sentThisRound
+	if out < 0 {
+		// Defensive clamp: a token reset (e.g. after membership change)
+		// can make the incoming fcc smaller than our recorded history.
+		out = sentThisRound
+	}
+	fc.sentLastRound = sentThisRound
+	return out
+}
+
+// Reset clears cross-round state when a new ring is installed.
+func (fc *Controller) Reset() { fc.sentLastRound = 0 }

@@ -1,0 +1,205 @@
+package flowctl
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"accelring/internal/wire"
+)
+
+func validConfig() Config {
+	return Config{PersonalWindow: 50, GlobalWindow: 200, AcceleratedWindow: 20, MaxSeqGap: 1000}
+}
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   error
+	}{
+		{"zero personal", func(c *Config) { c.PersonalWindow = 0 }, ErrNonPositiveWindow},
+		{"negative global", func(c *Config) { c.GlobalWindow = -1 }, ErrNonPositiveWindow},
+		{"zero gap", func(c *Config) { c.MaxSeqGap = 0 }, ErrNonPositiveWindow},
+		{"negative accelerated", func(c *Config) { c.AcceleratedWindow = -1 }, ErrNonPositiveWindow},
+		{"accel > personal", func(c *Config) { c.AcceleratedWindow = 51 }, ErrAccelTooLarge},
+		{"gap < global", func(c *Config) { c.MaxSeqGap = 199 }, ErrGapTooSmall},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := validConfig()
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); !errors.Is(err, tc.want) {
+				t.Fatalf("Validate() = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestAccelerated(t *testing.T) {
+	cfg := validConfig()
+	if !cfg.Accelerated() {
+		t.Error("accelerated window 20 should report accelerated")
+	}
+	cfg.AcceleratedWindow = 0
+	if cfg.Accelerated() {
+		t.Error("accelerated window 0 should not report accelerated")
+	}
+}
+
+func TestPreTokenCount(t *testing.T) {
+	cfg := validConfig() // accel window 20
+	cases := []struct{ total, want int }{
+		{0, 0},   // nothing to send
+		{10, 0},  // all fits post-token
+		{20, 0},  // exactly the accelerated window
+		{21, 1},  // one must go out pre-token
+		{50, 30}, // the excess goes pre-token
+	}
+	for _, c := range cases {
+		if got := cfg.PreTokenCount(c.total); got != c.want {
+			t.Errorf("PreTokenCount(%d) = %d, want %d", c.total, got, c.want)
+		}
+	}
+}
+
+func TestPreTokenCountUnaccelerated(t *testing.T) {
+	cfg := validConfig()
+	cfg.AcceleratedWindow = 0
+	// The original protocol sends everything before the token.
+	for _, total := range []int{0, 1, 17, 50} {
+		if got := cfg.PreTokenCount(total); got != total {
+			t.Errorf("PreTokenCount(%d) = %d, want %d", total, got, total)
+		}
+	}
+}
+
+func TestBudgetMinimums(t *testing.T) {
+	fc := NewController(validConfig()) // personal 50, global 200, gap 1000
+	cases := []struct {
+		name                string
+		pending, retrans    int
+		fcc                 int
+		tokenSeq, globalARU wire.Seq
+		want                int
+	}{
+		{"pending limits", 5, 0, 0, 100, 100, 5},
+		{"personal limits", 100, 0, 0, 100, 100, 50},
+		{"global limits", 100, 0, 170, 100, 100, 30},
+		{"global minus retrans", 100, 10, 170, 100, 100, 20},
+		{"global exhausted", 100, 0, 200, 100, 100, 0},
+		{"global overshoot clamps", 100, 50, 190, 100, 100, 0},
+		{"gap limits", 100, 0, 0, 1080, 100, 20},
+		{"gap exhausted", 100, 0, 0, 1100, 100, 0},
+		{"gap overshot clamps", 100, 0, 0, 2000, 100, 0},
+		{"unconstrained", 10, 3, 40, 500, 400, 10},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := fc.Budget(c.pending, c.retrans, c.fcc, c.tokenSeq, c.globalARU)
+			if got != c.want {
+				t.Fatalf("Budget = %d, want %d", got, c.want)
+			}
+		})
+	}
+}
+
+func TestRoundFCCAccounting(t *testing.T) {
+	fc := NewController(validConfig())
+	// Round 1: token fcc 0, we send 30.
+	if got := fc.RoundFCC(0, 30); got != 30 {
+		t.Fatalf("round 1 fcc = %d, want 30", got)
+	}
+	// Round 2: others pushed fcc to 100; our 30 from last round leaves,
+	// our 10 new arrive.
+	if got := fc.RoundFCC(100, 10); got != 80 {
+		t.Fatalf("round 2 fcc = %d, want 80", got)
+	}
+	if fc.SentLastRound() != 10 {
+		t.Fatalf("sentLastRound = %d, want 10", fc.SentLastRound())
+	}
+}
+
+func TestRoundFCCClampsAfterReset(t *testing.T) {
+	fc := NewController(validConfig())
+	fc.RoundFCC(0, 50)
+	// A membership change reset the token's fcc to 0; subtracting our
+	// stale 50 must not go negative.
+	if got := fc.RoundFCC(0, 5); got != 5 {
+		t.Fatalf("fcc after token reset = %d, want 5", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	fc := NewController(validConfig())
+	fc.RoundFCC(0, 50)
+	fc.Reset()
+	if fc.SentLastRound() != 0 {
+		t.Fatalf("sentLastRound after Reset = %d, want 0", fc.SentLastRound())
+	}
+}
+
+// TestQuickBudgetBounds: whatever the inputs, the budget never exceeds any
+// of its four bounds and is never negative.
+func TestQuickBudgetBounds(t *testing.T) {
+	cfg := validConfig()
+	f := func(pendingRaw, retransRaw, fccRaw uint16, seqRaw, aruRaw uint32) bool {
+		fc := NewController(cfg)
+		pending := int(pendingRaw % 2000)
+		retrans := int(retransRaw % 300)
+		fcc := int(fccRaw % 500)
+		tokenSeq := wire.Seq(seqRaw)
+		globalARU := wire.Seq(aruRaw)
+		got := fc.Budget(pending, retrans, fcc, tokenSeq, globalARU)
+		if got < 0 {
+			return false
+		}
+		if got > pending || got > cfg.PersonalWindow {
+			return false
+		}
+		if int64(got) > max64(int64(cfg.GlobalWindow-fcc-retrans), 0) {
+			return false
+		}
+		gap := int64(globalARU) + int64(cfg.MaxSeqGap) - int64(tokenSeq)
+		return int64(got) <= max64(gap, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFCCConservation: simulating one participant over many rounds,
+// the fcc contribution of this participant is always its last round's send
+// count (the token "carries" each send for exactly one rotation).
+func TestQuickFCCConservation(t *testing.T) {
+	f := func(sends []uint8) bool {
+		fc := NewController(validConfig())
+		othersFCC := 0 // what the rest of the ring contributes (held at 0)
+		prev := 0
+		for _, sRaw := range sends {
+			s := int(sRaw % 100)
+			got := fc.RoundFCC(othersFCC+prev, s)
+			if got != othersFCC+s {
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,124 @@
+// Package ipc defines the framed client↔daemon IPC protocol shared by the
+// daemon (internal/daemon) and the client library (internal/client).
+// Frames are length-prefixed: a 4-byte big-endian length covering the
+// 1-byte type and the body.
+package ipc
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+
+	"accelring/internal/wire"
+)
+
+// Frame types.
+const (
+	// Client → daemon.
+	CmdConnect byte = iota + 1
+	CmdJoin
+	CmdLeave
+	CmdMulticast
+	// Daemon → client.
+	EvtWelcome
+	EvtMessage
+	EvtView
+)
+
+// MaxFrame bounds one frame (payload plus protocol headers).
+const MaxFrame = wire.MaxPayload + 4096
+
+// Protocol errors.
+var (
+	// ErrFrameTooLarge reports a frame beyond MaxFrame.
+	ErrFrameTooLarge = errors.New("ipc: frame exceeds limit")
+	// ErrBadFrame reports a structurally invalid frame body.
+	ErrBadFrame = errors.New("ipc: malformed frame")
+)
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, typ byte, body []byte) error {
+	if len(body)+1 > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(body)+1))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one frame from r.
+func ReadFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// PutString appends a length-prefixed string.
+func PutString(dst []byte, s string) []byte {
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(s)))
+	dst = append(dst, l[:]...)
+	return append(dst, s...)
+}
+
+// GetString consumes a length-prefixed string.
+func GetString(src []byte) (string, []byte, error) {
+	if len(src) < 2 {
+		return "", nil, ErrBadFrame
+	}
+	n := int(binary.BigEndian.Uint16(src))
+	src = src[2:]
+	if len(src) < n {
+		return "", nil, ErrBadFrame
+	}
+	return string(src[:n]), src[n:], nil
+}
+
+// PutStrings appends a counted list of length-prefixed strings.
+func PutStrings(dst []byte, ss []string) []byte {
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(ss)))
+	dst = append(dst, l[:]...)
+	for _, s := range ss {
+		dst = PutString(dst, s)
+	}
+	return dst
+}
+
+// GetStrings consumes a counted list of length-prefixed strings.
+func GetStrings(src []byte) ([]string, []byte, error) {
+	if len(src) < 2 {
+		return nil, nil, ErrBadFrame
+	}
+	n := int(binary.BigEndian.Uint16(src))
+	src = src[2:]
+	if n > wire.MaxGroups+wire.MaxMembers {
+		return nil, nil, ErrBadFrame
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		var s string
+		var err error
+		s, src, err = GetString(src)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, s)
+	}
+	return out, src, nil
+}

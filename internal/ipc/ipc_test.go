@@ -1,0 +1,158 @@
+package ipc
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, CmdMulticast, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != CmdMulticast || string(body) != "hello" {
+		t.Fatalf("got type %d body %q", typ, body)
+	}
+}
+
+func TestFrameEmptyBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, EvtWelcome, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != EvtWelcome || len(body) != 0 {
+		t.Fatalf("got type %d body %q", typ, body)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, CmdMulticast, make([]byte, MaxFrame)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameRejectsHugeLength(t *testing.T) {
+	buf := bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1})
+	if _, _, err := ReadFrame(buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, CmdJoin, []byte("group")); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, n := range []int{0, 2, 4, len(data) - 1} {
+		if _, _, err := ReadFrame(bytes.NewReader(data[:n])); err == nil {
+			t.Errorf("ReadFrame accepted %d-byte prefix", n)
+		}
+	}
+}
+
+func TestReadFrameZeroLength(t *testing.T) {
+	buf := bytes.NewReader([]byte{0, 0, 0, 0})
+	if _, _, err := ReadFrame(buf); err == nil {
+		t.Fatal("ReadFrame accepted zero-length frame")
+	}
+}
+
+func TestMultipleFramesSequential(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		if err := WriteFrame(&buf, byte(i+1), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		typ, body, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != byte(i+1) || body[0] != byte(i) {
+			t.Fatalf("frame %d: type %d body %v", i, typ, body)
+		}
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("err after last frame = %v, want EOF", err)
+	}
+}
+
+func TestStringRoundtrip(t *testing.T) {
+	b := PutString(nil, "hello")
+	s, rest, err := GetString(b)
+	if err != nil || s != "hello" || len(rest) != 0 {
+		t.Fatalf("got %q rest %v err %v", s, rest, err)
+	}
+}
+
+func TestStringsRoundtrip(t *testing.T) {
+	in := []string{"a", "", "group with spaces", "日本語"}
+	b := PutStrings(nil, in)
+	out, rest, err := GetStrings(b)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("err %v rest %v", err, rest)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("got %v want %v", out, in)
+	}
+}
+
+func TestGetStringTruncated(t *testing.T) {
+	if _, _, err := GetString([]byte{0}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := GetString([]byte{0, 5, 'a'}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGetStringsRejectsHugeCount(t *testing.T) {
+	if _, _, err := GetStrings([]byte{0xFF, 0xFF}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQuickStringsRoundtrip(t *testing.T) {
+	f := func(ss []string) bool {
+		if len(ss) > 100 {
+			ss = ss[:100]
+		}
+		for i, s := range ss {
+			if len(s) > 1000 {
+				ss[i] = s[:1000]
+			}
+		}
+		b := PutStrings(nil, ss)
+		out, rest, err := GetStrings(b)
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		if len(out) != len(ss) {
+			return false
+		}
+		for i := range ss {
+			if out[i] != ss[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

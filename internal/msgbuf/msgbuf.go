@@ -1,0 +1,185 @@
+// Package msgbuf implements the sequenced message store at the heart of a
+// ring protocol participant: received data messages indexed by sequence
+// number, the participant's local all-received-up-to (ARU) value, the
+// in-order delivery cursor, and garbage collection up to the stability
+// bound established by the token.
+//
+// The buffer is not safe for concurrent use; the protocol engine that owns
+// it is single-goroutine by design.
+package msgbuf
+
+import (
+	"fmt"
+
+	"accelring/internal/wire"
+)
+
+// Buffer stores the data messages of one ring configuration.
+//
+// Invariants maintained between calls:
+//
+//	stable  ≤ delivered (messages are delivered before being discarded)
+//	stable  ≤ localARU  (only contiguously received messages stabilize)
+//	localARU ≤ highSeq
+//	every seq in (stable, localARU] is present in the store
+type Buffer struct {
+	msgs map[wire.Seq]*wire.DataMessage
+
+	// stable is the highest sequence number discarded so far: every
+	// message with seq ≤ stable was delivered (or predates this member's
+	// membership) and has been garbage-collected.
+	stable wire.Seq
+	// localARU is the highest seq such that this participant has received
+	// every message with a sequence number ≤ localARU.
+	localARU wire.Seq
+	// delivered is the delivery cursor: every message with seq ≤ delivered
+	// has been handed to the application, strictly in sequence order.
+	delivered wire.Seq
+	// highSeq is the highest sequence number received so far.
+	highSeq wire.Seq
+}
+
+// New creates a buffer for a fresh ring whose sequence numbers start at
+// start+1. All cursors (stable, ARU, delivered) begin at start.
+func New(start wire.Seq) *Buffer {
+	return &Buffer{
+		msgs:      make(map[wire.Seq]*wire.DataMessage),
+		stable:    start,
+		localARU:  start,
+		delivered: start,
+		highSeq:   start,
+	}
+}
+
+// Insert stores a received message. It reports whether the message was new
+// (not a duplicate and not already stabilized). Messages at or below the
+// stability bound are ignored: every participant already has them.
+func (b *Buffer) Insert(m *wire.DataMessage) bool {
+	if m.Seq <= b.stable {
+		return false
+	}
+	if _, ok := b.msgs[m.Seq]; ok {
+		return false
+	}
+	b.msgs[m.Seq] = m
+	if m.Seq > b.highSeq {
+		b.highSeq = m.Seq
+	}
+	// Advance the contiguous-receipt frontier.
+	for {
+		if _, ok := b.msgs[b.localARU+1]; !ok {
+			break
+		}
+		b.localARU++
+	}
+	return true
+}
+
+// Has reports whether the message with the given sequence number is
+// available (still buffered).
+func (b *Buffer) Has(seq wire.Seq) bool {
+	_, ok := b.msgs[seq]
+	return ok
+}
+
+// Get returns the buffered message with the given sequence number, or nil.
+func (b *Buffer) Get(seq wire.Seq) *wire.DataMessage {
+	return b.msgs[seq]
+}
+
+// LocalARU returns the participant's local all-received-up-to value.
+func (b *Buffer) LocalARU() wire.Seq { return b.localARU }
+
+// Delivered returns the delivery cursor.
+func (b *Buffer) Delivered() wire.Seq { return b.delivered }
+
+// Stable returns the garbage-collection bound.
+func (b *Buffer) Stable() wire.Seq { return b.stable }
+
+// HighSeq returns the highest sequence number received.
+func (b *Buffer) HighSeq() wire.Seq { return b.highSeq }
+
+// Len returns the number of buffered messages.
+func (b *Buffer) Len() int { return len(b.msgs) }
+
+// Missing appends to dst the sequence numbers in (localARU, upTo] that have
+// not been received, up to limit entries, and returns the extended slice.
+// These are the gaps a participant requests for retransmission. Passing a
+// limit ≤ 0 means no limit (bounded only by the scan range).
+func (b *Buffer) Missing(dst []wire.Seq, upTo wire.Seq, limit int) []wire.Seq {
+	for s := b.localARU + 1; s <= upTo; s++ {
+		if _, ok := b.msgs[s]; !ok {
+			dst = append(dst, s)
+			if limit > 0 && len(dst) >= limit {
+				break
+			}
+		}
+	}
+	return dst
+}
+
+// NextDeliverable returns the next message to deliver in total order, or nil
+// if none is deliverable yet. A message is deliverable when it is the next
+// sequence number after the delivery cursor and either requires only Agreed
+// delivery or has stabilized (seq ≤ safeBound). A Safe message that has not
+// stabilized blocks everything behind it, preserving total order.
+//
+// The caller must invoke Advance after actually delivering the returned
+// message.
+func (b *Buffer) NextDeliverable(safeBound wire.Seq) *wire.DataMessage {
+	m, ok := b.msgs[b.delivered+1]
+	if !ok {
+		return nil
+	}
+	if m.Service.RequiresSafe() && m.Seq > safeBound {
+		return nil
+	}
+	return m
+}
+
+// Advance moves the delivery cursor past seq. It panics if delivery is
+// attempted out of order — a protocol engine bug, not a runtime condition.
+func (b *Buffer) Advance(seq wire.Seq) {
+	if seq != b.delivered+1 {
+		panic(fmt.Sprintf("msgbuf: out-of-order delivery: cursor %d, delivering %d", b.delivered, seq))
+	}
+	b.delivered = seq
+}
+
+// DiscardStable garbage-collects every message with seq ≤ upTo and raises
+// the stability bound. Messages must have been delivered first; the bound
+// is clamped to the delivery cursor to make violating that impossible.
+// It returns the number of messages discarded.
+func (b *Buffer) DiscardStable(upTo wire.Seq) int {
+	if upTo > b.delivered {
+		upTo = b.delivered
+	}
+	if upTo <= b.stable {
+		return 0
+	}
+	n := 0
+	for s := b.stable + 1; s <= upTo; s++ {
+		if _, ok := b.msgs[s]; ok {
+			delete(b.msgs, s)
+			n++
+		}
+	}
+	b.stable = upTo
+	return n
+}
+
+// Range calls fn for every buffered message with seq in [from, to], in
+// ascending sequence order, stopping early if fn returns false. Membership
+// recovery uses it to enumerate the old ring's surviving messages.
+func (b *Buffer) Range(from, to wire.Seq, fn func(*wire.DataMessage) bool) {
+	if from <= b.stable {
+		from = b.stable + 1
+	}
+	for s := from; s <= to; s++ {
+		if m, ok := b.msgs[s]; ok {
+			if !fn(m) {
+				return
+			}
+		}
+	}
+}

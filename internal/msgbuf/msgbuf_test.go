@@ -1,0 +1,353 @@
+package msgbuf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"accelring/internal/wire"
+)
+
+func msg(seq wire.Seq, svc wire.Service) *wire.DataMessage {
+	return &wire.DataMessage{Seq: seq, PID: 1, Service: svc}
+}
+
+func TestNewCursors(t *testing.T) {
+	b := New(10)
+	if b.LocalARU() != 10 || b.Delivered() != 10 || b.Stable() != 10 || b.HighSeq() != 10 {
+		t.Fatalf("cursors = aru %d delivered %d stable %d high %d, want all 10",
+			b.LocalARU(), b.Delivered(), b.Stable(), b.HighSeq())
+	}
+}
+
+func TestInsertAdvancesARUContiguously(t *testing.T) {
+	b := New(0)
+	if !b.Insert(msg(1, wire.ServiceAgreed)) {
+		t.Fatal("Insert(1) reported duplicate")
+	}
+	if b.LocalARU() != 1 {
+		t.Fatalf("aru = %d, want 1", b.LocalARU())
+	}
+	b.Insert(msg(3, wire.ServiceAgreed))
+	if b.LocalARU() != 1 {
+		t.Fatalf("aru = %d, want 1 (gap at 2)", b.LocalARU())
+	}
+	b.Insert(msg(2, wire.ServiceAgreed))
+	if b.LocalARU() != 3 {
+		t.Fatalf("aru = %d, want 3 after filling gap", b.LocalARU())
+	}
+	if b.HighSeq() != 3 {
+		t.Fatalf("high = %d, want 3", b.HighSeq())
+	}
+}
+
+func TestInsertDuplicate(t *testing.T) {
+	b := New(0)
+	b.Insert(msg(1, wire.ServiceAgreed))
+	if b.Insert(msg(1, wire.ServiceAgreed)) {
+		t.Fatal("duplicate insert reported new")
+	}
+}
+
+func TestInsertBelowStableIgnored(t *testing.T) {
+	b := New(5)
+	if b.Insert(msg(3, wire.ServiceAgreed)) {
+		t.Fatal("insert below stability bound reported new")
+	}
+	if b.Len() != 0 {
+		t.Fatal("stale message was stored")
+	}
+}
+
+func TestMissing(t *testing.T) {
+	b := New(0)
+	b.Insert(msg(1, wire.ServiceAgreed))
+	b.Insert(msg(3, wire.ServiceAgreed))
+	b.Insert(msg(6, wire.ServiceAgreed))
+	got := b.Missing(nil, 7, 0)
+	want := []wire.Seq{2, 4, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Missing = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Missing = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMissingLimit(t *testing.T) {
+	b := New(0)
+	b.Insert(msg(10, wire.ServiceAgreed))
+	got := b.Missing(nil, 10, 3)
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("Missing with limit = %v, want [1 2 3]", got)
+	}
+}
+
+func TestMissingAppendsToDst(t *testing.T) {
+	b := New(0)
+	b.Insert(msg(2, wire.ServiceAgreed))
+	got := b.Missing([]wire.Seq{99}, 2, 0)
+	if len(got) != 2 || got[0] != 99 || got[1] != 1 {
+		t.Fatalf("Missing = %v, want [99 1]", got)
+	}
+}
+
+func TestDeliveryInOrder(t *testing.T) {
+	b := New(0)
+	b.Insert(msg(2, wire.ServiceAgreed))
+	if m := b.NextDeliverable(0); m != nil {
+		t.Fatalf("deliverable %d before seq 1 arrives", m.Seq)
+	}
+	b.Insert(msg(1, wire.ServiceAgreed))
+	m := b.NextDeliverable(0)
+	if m == nil || m.Seq != 1 {
+		t.Fatalf("NextDeliverable = %v, want seq 1", m)
+	}
+	b.Advance(1)
+	m = b.NextDeliverable(0)
+	if m == nil || m.Seq != 2 {
+		t.Fatalf("NextDeliverable = %v, want seq 2", m)
+	}
+	b.Advance(2)
+	if b.NextDeliverable(0) != nil {
+		t.Fatal("deliverable after draining buffer")
+	}
+}
+
+func TestSafeBlocksUntilStable(t *testing.T) {
+	b := New(0)
+	b.Insert(msg(1, wire.ServiceSafe))
+	b.Insert(msg(2, wire.ServiceAgreed))
+	if m := b.NextDeliverable(0); m != nil {
+		t.Fatalf("safe message %d delivered before stability", m.Seq)
+	}
+	// Raising the safe bound unblocks the safe message and the agreed
+	// message behind it.
+	m := b.NextDeliverable(1)
+	if m == nil || m.Seq != 1 {
+		t.Fatalf("NextDeliverable = %v, want safe seq 1", m)
+	}
+	b.Advance(1)
+	m = b.NextDeliverable(1)
+	if m == nil || m.Seq != 2 {
+		t.Fatalf("NextDeliverable = %v, want agreed seq 2 after safe delivered", m)
+	}
+}
+
+func TestAgreedDeliversAheadOfSafeBound(t *testing.T) {
+	b := New(0)
+	b.Insert(msg(1, wire.ServiceAgreed))
+	b.Insert(msg(2, wire.ServiceAgreed))
+	// Agreed messages deliver regardless of the safe bound.
+	for want := wire.Seq(1); want <= 2; want++ {
+		m := b.NextDeliverable(0)
+		if m == nil || m.Seq != want {
+			t.Fatalf("NextDeliverable = %v, want %d", m, want)
+		}
+		b.Advance(want)
+	}
+}
+
+func TestAdvanceOutOfOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance out of order did not panic")
+		}
+	}()
+	b := New(0)
+	b.Insert(msg(1, wire.ServiceAgreed))
+	b.Insert(msg(2, wire.ServiceAgreed))
+	b.Advance(2)
+}
+
+func TestDiscardStable(t *testing.T) {
+	b := New(0)
+	for s := wire.Seq(1); s <= 5; s++ {
+		b.Insert(msg(s, wire.ServiceAgreed))
+	}
+	for s := wire.Seq(1); s <= 4; s++ {
+		b.Advance(s)
+	}
+	if n := b.DiscardStable(3); n != 3 {
+		t.Fatalf("discarded %d, want 3", n)
+	}
+	if b.Stable() != 3 || b.Len() != 2 {
+		t.Fatalf("stable %d len %d, want 3 and 2", b.Stable(), b.Len())
+	}
+	if b.Has(3) || !b.Has(4) {
+		t.Fatal("wrong messages discarded")
+	}
+}
+
+func TestDiscardClampedToDelivered(t *testing.T) {
+	b := New(0)
+	b.Insert(msg(1, wire.ServiceAgreed))
+	b.Insert(msg(2, wire.ServiceAgreed))
+	b.Advance(1)
+	if n := b.DiscardStable(2); n != 1 {
+		t.Fatalf("discarded %d, want 1 (clamped to delivered)", n)
+	}
+	if b.Stable() != 1 {
+		t.Fatalf("stable = %d, want 1", b.Stable())
+	}
+	if !b.Has(2) {
+		t.Fatal("undelivered message was discarded")
+	}
+}
+
+func TestDiscardIdempotent(t *testing.T) {
+	b := New(0)
+	b.Insert(msg(1, wire.ServiceAgreed))
+	b.Advance(1)
+	b.DiscardStable(1)
+	if n := b.DiscardStable(1); n != 0 {
+		t.Fatalf("second discard removed %d messages", n)
+	}
+}
+
+func TestRange(t *testing.T) {
+	b := New(0)
+	for _, s := range []wire.Seq{1, 2, 4, 6} {
+		b.Insert(msg(s, wire.ServiceAgreed))
+	}
+	var got []wire.Seq
+	b.Range(2, 6, func(m *wire.DataMessage) bool {
+		got = append(got, m.Seq)
+		return true
+	})
+	want := []wire.Seq{2, 4, 6}
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range visited %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	b := New(0)
+	for s := wire.Seq(1); s <= 5; s++ {
+		b.Insert(msg(s, wire.ServiceAgreed))
+	}
+	count := 0
+	b.Range(1, 5, func(*wire.DataMessage) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("Range visited %d messages after early stop, want 2", count)
+	}
+}
+
+func TestRangeSkipsStable(t *testing.T) {
+	b := New(0)
+	for s := wire.Seq(1); s <= 3; s++ {
+		b.Insert(msg(s, wire.ServiceAgreed))
+		b.Advance(s)
+	}
+	b.DiscardStable(2)
+	var got []wire.Seq
+	b.Range(1, 3, func(m *wire.DataMessage) bool {
+		got = append(got, m.Seq)
+		return true
+	})
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Range = %v, want [3]", got)
+	}
+}
+
+// TestQuickInvariants inserts a random permutation with random gaps and
+// checks the documented buffer invariants after every operation.
+func TestQuickInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%64) + 1
+		seqs := make([]wire.Seq, 0, n)
+		for s := wire.Seq(1); int(s) <= n; s++ {
+			if rng.Intn(4) != 0 { // leave ~25% gaps
+				seqs = append(seqs, s)
+			}
+		}
+		rng.Shuffle(len(seqs), func(i, j int) { seqs[i], seqs[j] = seqs[j], seqs[i] })
+		b := New(0)
+		check := func() bool {
+			if b.Stable() > b.Delivered() || b.Delivered() > b.LocalARU() || b.LocalARU() > b.HighSeq() {
+				return false
+			}
+			// Everything in (stable, localARU] must be present.
+			for s := b.Stable() + 1; s <= b.LocalARU(); s++ {
+				if !b.Has(s) {
+					return false
+				}
+			}
+			// localARU+1 must be absent by definition.
+			return !b.Has(b.LocalARU() + 1)
+		}
+		for _, s := range seqs {
+			svc := wire.ServiceAgreed
+			if rng.Intn(3) == 0 {
+				svc = wire.ServiceSafe
+			}
+			b.Insert(msg(s, svc))
+			if !check() {
+				return false
+			}
+			// Deliver whatever is deliverable with a random safe bound.
+			bound := wire.Seq(rng.Intn(n + 1))
+			for {
+				m := b.NextDeliverable(bound)
+				if m == nil {
+					break
+				}
+				b.Advance(m.Seq)
+			}
+			b.DiscardStable(bound)
+			if !check() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeliveryIsTotalOrder verifies that regardless of arrival order,
+// messages are delivered in strictly increasing contiguous sequence order.
+func TestQuickDeliveryIsTotalOrder(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%100) + 1
+		order := rng.Perm(n)
+		b := New(0)
+		var delivered []wire.Seq
+		for _, idx := range order {
+			b.Insert(msg(wire.Seq(idx+1), wire.ServiceAgreed))
+			for {
+				m := b.NextDeliverable(0)
+				if m == nil {
+					break
+				}
+				delivered = append(delivered, m.Seq)
+				b.Advance(m.Seq)
+			}
+		}
+		if len(delivered) != n {
+			return false
+		}
+		for i, s := range delivered {
+			if s != wire.Seq(i+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,158 @@
+// Package stats provides the small statistical helpers the benchmark
+// harness needs: a latency sample collector with exact percentiles, and a
+// fixed-bucket histogram for cheap streaming summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample accumulates duration observations and answers summary queries.
+// The zero value is ready to use. Not safe for concurrent use.
+type Sample struct {
+	values []time.Duration
+	sorted bool
+	sum    time.Duration
+}
+
+// Add records one observation.
+func (s *Sample) Add(d time.Duration) {
+	s.values = append(s.values, d)
+	s.sorted = false
+	s.sum += d
+}
+
+// Count returns the number of observations.
+func (s *Sample) Count() int { return len(s.values) }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Sample) Mean() time.Duration {
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.sum / time.Duration(len(s.values))
+}
+
+// Min returns the smallest observation, or 0 with none.
+func (s *Sample) Min() time.Duration {
+	s.sort()
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.values[0]
+}
+
+// Max returns the largest observation, or 0 with none.
+func (s *Sample) Max() time.Duration {
+	s.sort()
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.values[len(s.values)-1]
+}
+
+// Percentile returns the p-th percentile (0 < p ≤ 100) using the
+// nearest-rank method, or 0 with no observations.
+func (s *Sample) Percentile(p float64) time.Duration {
+	s.sort()
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s.values[0]
+	}
+	if p >= 100 {
+		return s.values[n-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	return s.values[rank-1]
+}
+
+// Stddev returns the population standard deviation, or 0 with fewer than
+// two observations.
+func (s *Sample) Stddev() time.Duration {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	mean := float64(s.Mean())
+	var acc float64
+	for _, v := range s.values {
+		d := float64(v) - mean
+		acc += d * d
+	}
+	return time.Duration(math.Sqrt(acc / float64(n)))
+}
+
+// Reset discards all observations, retaining capacity.
+func (s *Sample) Reset() {
+	s.values = s.values[:0]
+	s.sorted = true
+	s.sum = 0
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Slice(s.values, func(i, j int) bool { return s.values[i] < s.values[j] })
+		s.sorted = true
+	}
+}
+
+// String summarizes the sample for logs.
+func (s *Sample) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		s.Count(), s.Mean(), s.Percentile(50), s.Percentile(99), s.Max())
+}
+
+// Histogram is a fixed-bucket latency histogram with exponentially growing
+// bucket bounds. The zero value is not usable; create with NewHistogram.
+type Histogram struct {
+	bounds []time.Duration
+	counts []uint64
+	total  uint64
+}
+
+// NewHistogram builds a histogram with buckets [0,first), [first,2*first),
+// doubling n times. Observations beyond the last bound land in the overflow
+// bucket.
+func NewHistogram(first time.Duration, n int) *Histogram {
+	if first <= 0 || n <= 0 {
+		panic("stats: histogram needs a positive first bound and bucket count")
+	}
+	bounds := make([]time.Duration, n)
+	b := first
+	for i := range bounds {
+		bounds[i] = b
+		b *= 2
+	}
+	return &Histogram{bounds: bounds, counts: make([]uint64, n+1)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(d time.Duration) {
+	idx := sort.Search(len(h.bounds), func(i int) bool { return d < h.bounds[i] })
+	h.counts[idx]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Buckets calls fn for each bucket with its upper bound (0 duration for the
+// overflow bucket) and count.
+func (h *Histogram) Buckets(fn func(upper time.Duration, count uint64)) {
+	for i, c := range h.counts {
+		if i < len(h.bounds) {
+			fn(h.bounds[i], c)
+		} else {
+			fn(0, c)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package memnet
+
+import (
+	"testing"
+	"time"
+
+	"accelring/internal/transport"
+)
+
+func recvWithin(t *testing.T, ch <-chan []byte, d time.Duration) []byte {
+	t.Helper()
+	select {
+	case pkt := <-ch:
+		return pkt
+	case <-time.After(d):
+		t.Fatal("no packet within deadline")
+		return nil
+	}
+}
+
+func expectNothing(t *testing.T, ch <-chan []byte, d time.Duration) {
+	t.Helper()
+	select {
+	case pkt := <-ch:
+		t.Fatalf("unexpected packet %q", pkt)
+	case <-time.After(d):
+	}
+}
+
+func TestMulticastReachesAllButSender(t *testing.T) {
+	h := NewHub(1)
+	h.SetLatency(0)
+	a, b, c := h.Join(1), h.Join(2), h.Join(3)
+	defer a.Close()
+	defer b.Close()
+	defer c.Close()
+
+	if err := a.Multicast([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvWithin(t, b.Data(), time.Second); string(got) != "x" {
+		t.Fatalf("b got %q", got)
+	}
+	if got := recvWithin(t, c.Data(), time.Second); string(got) != "x" {
+		t.Fatalf("c got %q", got)
+	}
+	expectNothing(t, a.Data(), 20*time.Millisecond)
+}
+
+func TestUnicastGoesToTokenChannel(t *testing.T) {
+	h := NewHub(1)
+	h.SetLatency(0)
+	a, b := h.Join(1), h.Join(2)
+	defer a.Close()
+	defer b.Close()
+	if err := a.Unicast(2, []byte("tok")); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvWithin(t, b.Token(), time.Second); string(got) != "tok" {
+		t.Fatalf("got %q", got)
+	}
+	expectNothing(t, b.Data(), 20*time.Millisecond)
+}
+
+func TestUnicastToSelf(t *testing.T) {
+	h := NewHub(1)
+	h.SetLatency(0)
+	a := h.Join(1)
+	defer a.Close()
+	if err := a.Unicast(1, []byte("self")); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvWithin(t, a.Token(), time.Second); string(got) != "self" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestUnicastUnknownPeer(t *testing.T) {
+	h := NewHub(1)
+	a := h.Join(1)
+	defer a.Close()
+	if err := a.Unicast(9, []byte("x")); err != transport.ErrUnknownPeer {
+		t.Fatalf("err = %v, want ErrUnknownPeer", err)
+	}
+}
+
+func TestPartitionBlocksTraffic(t *testing.T) {
+	h := NewHub(1)
+	h.SetLatency(0)
+	a, b := h.Join(1), h.Join(2)
+	defer a.Close()
+	defer b.Close()
+	h.SetPartition(2, 1)
+	if err := a.Multicast([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Unicast(2, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	expectNothing(t, b.Data(), 20*time.Millisecond)
+	expectNothing(t, b.Token(), 20*time.Millisecond)
+
+	h.Heal()
+	if err := a.Multicast([]byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvWithin(t, b.Data(), time.Second); string(got) != "z" {
+		t.Fatalf("after heal got %q", got)
+	}
+}
+
+func TestFullLossDropsEverything(t *testing.T) {
+	h := NewHub(1)
+	h.SetLatency(0)
+	h.SetLossRate(0.9999999)
+	a, b := h.Join(1), h.Join(2)
+	defer a.Close()
+	defer b.Close()
+	for i := 0; i < 50; i++ {
+		if err := a.Multicast([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	expectNothing(t, b.Data(), 20*time.Millisecond)
+}
+
+func TestLatencyDelaysDelivery(t *testing.T) {
+	h := NewHub(1)
+	h.SetLatency(30 * time.Millisecond)
+	a, b := h.Join(1), h.Join(2)
+	defer a.Close()
+	defer b.Close()
+	start := time.Now()
+	if err := a.Multicast([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	recvWithin(t, b.Data(), time.Second)
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("delivered after %v, want >= ~30ms", elapsed)
+	}
+}
+
+func TestSendAfterCloseFails(t *testing.T) {
+	h := NewHub(1)
+	a := h.Join(1)
+	b := h.Join(2)
+	defer b.Close()
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Multicast([]byte("x")); err != transport.ErrClosed {
+		t.Fatalf("Multicast after close = %v, want ErrClosed", err)
+	}
+	if err := a.Unicast(2, []byte("x")); err != transport.ErrClosed {
+		t.Fatalf("Unicast after close = %v, want ErrClosed", err)
+	}
+	// Double close is fine.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseStopsDeliveryToEndpoint(t *testing.T) {
+	h := NewHub(1)
+	h.SetLatency(0)
+	a, b := h.Join(1), h.Join(2)
+	defer a.Close()
+	b.Close()
+	// Sending to a closed endpoint must not panic or error the sender.
+	if err := a.Multicast([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPacketsAreCopied(t *testing.T) {
+	h := NewHub(1)
+	h.SetLatency(0)
+	a, b := h.Join(1), h.Join(2)
+	defer a.Close()
+	defer b.Close()
+	pkt := []byte("orig")
+	if err := a.Multicast(pkt); err != nil {
+		t.Fatal(err)
+	}
+	pkt[0] = 'X'
+	if got := recvWithin(t, b.Data(), time.Second); string(got) != "orig" {
+		t.Fatalf("delivery aliases sender buffer: %q", got)
+	}
+}
+
+func TestRejoinReplacesEndpoint(t *testing.T) {
+	h := NewHub(1)
+	h.SetLatency(0)
+	old := h.Join(1)
+	fresh := h.Join(1)
+	defer fresh.Close()
+	b := h.Join(2)
+	defer b.Close()
+	if err := b.Unicast(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvWithin(t, fresh.Token(), time.Second); string(got) != "x" {
+		t.Fatalf("got %q", got)
+	}
+	expectNothing(t, old.Token(), 20*time.Millisecond)
+	old.Close()
+}

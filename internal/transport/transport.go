@@ -1,0 +1,39 @@
+// Package transport defines how protocol packets move between ring
+// participants: IP-multicast (or an emulation of it) for data messages and
+// unicast for the token, received on separate channels so the runtime can
+// honor the protocol's token/data priority policy (Section III-D of the
+// paper uses separate sockets for exactly this reason).
+package transport
+
+import (
+	"errors"
+
+	"accelring/internal/wire"
+)
+
+// Transport moves encoded packets between participants. Implementations
+// must be safe for one sender goroutine plus internal receivers.
+type Transport interface {
+	// Multicast sends an encoded packet to every participant except the
+	// sender (participants hold their own messages already).
+	Multicast(pkt []byte) error
+	// Unicast sends an encoded packet to one participant. Sending to
+	// yourself must work (singleton rings pass the token to themselves).
+	Unicast(to wire.ParticipantID, pkt []byte) error
+	// Data returns the channel of packets received on the data socket
+	// (multicast data messages and joins).
+	Data() <-chan []byte
+	// Token returns the channel of packets received on the token socket
+	// (tokens and commit tokens).
+	Token() <-chan []byte
+	// Close releases the transport's resources; the receive channels are
+	// closed afterwards.
+	Close() error
+}
+
+// ErrClosed is returned by send operations on a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// ErrUnknownPeer is returned when unicasting to a participant the
+// transport has no address for.
+var ErrUnknownPeer = errors.New("transport: unknown peer")

@@ -1,0 +1,229 @@
+// Package udpnet is the real-network transport: IP-multicast for data
+// messages and UDP unicast for the token, on separate sockets/ports exactly
+// as Section III-D of the paper describes. Where IP-multicast is not
+// available (some container and cloud networks), the transport can emulate
+// it with unicast fan-out — the same option Spread provides.
+package udpnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"accelring/internal/transport"
+	"accelring/internal/wire"
+)
+
+// MaxDatagram bounds receive buffers; it accommodates the large-datagram
+// configuration of the paper's Section IV-A3.
+const MaxDatagram = 64 * 1024
+
+// defaultQueue is the receive channel depth per socket.
+const defaultQueue = 4096
+
+// Peer is the addressing information for one participant.
+type Peer struct {
+	// Host is the peer's IP address or hostname.
+	Host string
+	// DataPort receives data packets when multicast emulation is in use.
+	DataPort int
+	// TokenPort receives unicast token packets.
+	TokenPort int
+}
+
+// Config configures a UDP transport endpoint.
+type Config struct {
+	// MyID is this participant. Peers must contain an entry for it (used
+	// to bind the local sockets).
+	MyID wire.ParticipantID
+	// Peers maps every ring participant to its addresses.
+	Peers map[wire.ParticipantID]Peer
+	// MulticastGroup is the data multicast group, e.g. "239.192.7.4:7400".
+	// Empty enables unicast emulation: multicasts are sent point-to-point
+	// to every peer's DataPort.
+	MulticastGroup string
+	// QueueLen overrides the receive channel depth (default 4096).
+	QueueLen int
+}
+
+// Transport is a UDP/IP-multicast transport endpoint.
+type Transport struct {
+	cfg       Config
+	dataConn  *net.UDPConn // receive side of the data socket
+	dataSend  *net.UDPConn // send side for data
+	tokenConn *net.UDPConn
+	groupAddr *net.UDPAddr                        // nil in emulation mode
+	peers     map[wire.ParticipantID]*net.UDPAddr // token addresses
+	dataAddrs map[wire.ParticipantID]*net.UDPAddr // data addresses (emulation)
+
+	data  chan []byte
+	token chan []byte
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+var _ transport.Transport = (*Transport)(nil)
+
+// New opens the sockets and starts the receive loops.
+func New(cfg Config) (*Transport, error) {
+	me, ok := cfg.Peers[cfg.MyID]
+	if !ok {
+		return nil, fmt.Errorf("udpnet: peers map has no entry for self (%s)", cfg.MyID)
+	}
+	queue := cfg.QueueLen
+	if queue == 0 {
+		queue = defaultQueue
+	}
+	t := &Transport{
+		cfg:       cfg,
+		peers:     make(map[wire.ParticipantID]*net.UDPAddr, len(cfg.Peers)),
+		dataAddrs: make(map[wire.ParticipantID]*net.UDPAddr, len(cfg.Peers)),
+		data:      make(chan []byte, queue),
+		token:     make(chan []byte, queue),
+	}
+	for id, p := range cfg.Peers {
+		tokenAddr, err := net.ResolveUDPAddr("udp", fmt.Sprintf("%s:%d", p.Host, p.TokenPort))
+		if err != nil {
+			return nil, fmt.Errorf("udpnet: resolving %s token address: %w", id, err)
+		}
+		t.peers[id] = tokenAddr
+		dataAddr, err := net.ResolveUDPAddr("udp", fmt.Sprintf("%s:%d", p.Host, p.DataPort))
+		if err != nil {
+			return nil, fmt.Errorf("udpnet: resolving %s data address: %w", id, err)
+		}
+		t.dataAddrs[id] = dataAddr
+	}
+
+	tokenConn, err := net.ListenUDP("udp", &net.UDPAddr{Port: me.TokenPort})
+	if err != nil {
+		return nil, fmt.Errorf("udpnet: binding token socket: %w", err)
+	}
+	t.tokenConn = tokenConn
+
+	if cfg.MulticastGroup != "" {
+		gaddr, err := net.ResolveUDPAddr("udp", cfg.MulticastGroup)
+		if err != nil {
+			t.tokenConn.Close()
+			return nil, fmt.Errorf("udpnet: resolving multicast group: %w", err)
+		}
+		t.groupAddr = gaddr
+		dataConn, err := net.ListenMulticastUDP("udp", nil, gaddr)
+		if err != nil {
+			t.tokenConn.Close()
+			return nil, fmt.Errorf("udpnet: joining multicast group %s: %w", cfg.MulticastGroup, err)
+		}
+		t.dataConn = dataConn
+		sendConn, err := net.DialUDP("udp", nil, gaddr)
+		if err != nil {
+			t.tokenConn.Close()
+			t.dataConn.Close()
+			return nil, fmt.Errorf("udpnet: opening multicast send socket: %w", err)
+		}
+		t.dataSend = sendConn
+	} else {
+		dataConn, err := net.ListenUDP("udp", &net.UDPAddr{Port: me.DataPort})
+		if err != nil {
+			t.tokenConn.Close()
+			return nil, fmt.Errorf("udpnet: binding data socket: %w", err)
+		}
+		t.dataConn = dataConn
+	}
+
+	t.wg.Add(2)
+	go t.readLoop(t.dataConn, t.data)
+	go t.readLoop(t.tokenConn, t.token)
+	return t, nil
+}
+
+// readLoop pumps packets from a socket into a channel, dropping on
+// overflow (like a full application queue).
+func (t *Transport) readLoop(conn *net.UDPConn, ch chan []byte) {
+	defer t.wg.Done()
+	buf := make([]byte, MaxDatagram)
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		select {
+		case ch <- pkt:
+		default:
+		}
+	}
+}
+
+// Multicast implements transport.Transport.
+func (t *Transport) Multicast(pkt []byte) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return transport.ErrClosed
+	}
+	t.mu.Unlock()
+	if t.groupAddr != nil {
+		_, err := t.dataSend.Write(pkt)
+		if err != nil {
+			return fmt.Errorf("udpnet: multicast: %w", err)
+		}
+		return nil
+	}
+	// Unicast emulation: fan out to every peer's data port.
+	for id, addr := range t.dataAddrs {
+		if id == t.cfg.MyID {
+			continue
+		}
+		if _, err := t.dataConn.WriteToUDP(pkt, addr); err != nil {
+			return fmt.Errorf("udpnet: emulated multicast to %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// Unicast implements transport.Transport.
+func (t *Transport) Unicast(to wire.ParticipantID, pkt []byte) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return transport.ErrClosed
+	}
+	t.mu.Unlock()
+	addr, ok := t.peers[to]
+	if !ok {
+		return fmt.Errorf("%w: %s", transport.ErrUnknownPeer, to)
+	}
+	if _, err := t.tokenConn.WriteToUDP(pkt, addr); err != nil {
+		return fmt.Errorf("udpnet: unicast to %s: %w", to, err)
+	}
+	return nil
+}
+
+// Data implements transport.Transport.
+func (t *Transport) Data() <-chan []byte { return t.data }
+
+// Token implements transport.Transport.
+func (t *Transport) Token() <-chan []byte { return t.token }
+
+// Close implements transport.Transport.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+
+	t.tokenConn.Close()
+	t.dataConn.Close()
+	if t.dataSend != nil {
+		t.dataSend.Close()
+	}
+	t.wg.Wait()
+	close(t.data)
+	close(t.token)
+	return nil
+}

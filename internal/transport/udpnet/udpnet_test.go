@@ -1,0 +1,171 @@
+package udpnet
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"accelring/internal/transport"
+	"accelring/internal/wire"
+)
+
+// freePorts grabs n distinct free UDP ports on localhost.
+func freePorts(t *testing.T, n int) []int {
+	t.Helper()
+	ports := make([]int, 0, n)
+	conns := make([]*net.UDPConn, 0, n)
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	for len(ports) < n {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatalf("allocating port: %v", err)
+		}
+		conns = append(conns, c)
+		ports = append(ports, c.LocalAddr().(*net.UDPAddr).Port)
+	}
+	return ports
+}
+
+// pair opens two emulation-mode transports on loopback.
+func pair(t *testing.T) (*Transport, *Transport) {
+	t.Helper()
+	ports := freePorts(t, 4)
+	peers := map[wire.ParticipantID]Peer{
+		1: {Host: "127.0.0.1", DataPort: ports[0], TokenPort: ports[1]},
+		2: {Host: "127.0.0.1", DataPort: ports[2], TokenPort: ports[3]},
+	}
+	a, err := New(Config{MyID: 1, Peers: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{MyID: 2, Peers: peers})
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		a.Close()
+		b.Close()
+	})
+	return a, b
+}
+
+func recvWithin(t *testing.T, ch <-chan []byte, d time.Duration) []byte {
+	t.Helper()
+	select {
+	case pkt := <-ch:
+		return pkt
+	case <-time.After(d):
+		t.Fatal("no packet within deadline")
+		return nil
+	}
+}
+
+func TestNewRequiresSelfPeer(t *testing.T) {
+	_, err := New(Config{MyID: 1, Peers: map[wire.ParticipantID]Peer{2: {Host: "127.0.0.1"}}})
+	if err == nil {
+		t.Fatal("accepted config without self peer")
+	}
+}
+
+func TestEmulatedMulticast(t *testing.T) {
+	a, b := pair(t)
+	if err := a.Multicast([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvWithin(t, b.Data(), 2*time.Second); string(got) != "data" {
+		t.Fatalf("got %q", got)
+	}
+	select {
+	case pkt := <-a.Data():
+		t.Fatalf("sender received its own emulated multicast: %q", pkt)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestUnicastToken(t *testing.T) {
+	a, b := pair(t)
+	if err := a.Unicast(2, []byte("token")); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvWithin(t, b.Token(), 2*time.Second); string(got) != "token" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestUnicastToSelf(t *testing.T) {
+	a, _ := pair(t)
+	if err := a.Unicast(1, []byte("self")); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvWithin(t, a.Token(), 2*time.Second); string(got) != "self" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestUnicastUnknownPeer(t *testing.T) {
+	a, _ := pair(t)
+	if err := a.Unicast(99, []byte("x")); err == nil {
+		t.Fatal("unicast to unknown peer succeeded")
+	}
+}
+
+func TestSendAfterClose(t *testing.T) {
+	ports := freePorts(t, 2)
+	peers := map[wire.ParticipantID]Peer{1: {Host: "127.0.0.1", DataPort: ports[0], TokenPort: ports[1]}}
+	tr, err := New(Config{MyID: 1, Peers: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Multicast([]byte("x")); err != transport.ErrClosed {
+		t.Fatalf("Multicast after close = %v, want ErrClosed", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal("double close errored")
+	}
+}
+
+func TestChannelsClosedAfterClose(t *testing.T) {
+	ports := freePorts(t, 2)
+	peers := map[wire.ParticipantID]Peer{1: {Host: "127.0.0.1", DataPort: ports[0], TokenPort: ports[1]}}
+	tr, err := New(Config{MyID: 1, Peers: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Close()
+	if _, ok := <-tr.Data(); ok {
+		t.Fatal("data channel still open after Close")
+	}
+	if _, ok := <-tr.Token(); ok {
+		t.Fatal("token channel still open after Close")
+	}
+}
+
+func TestLargeDatagram(t *testing.T) {
+	a, b := pair(t)
+	// The 8850-byte payload configuration of Section IV-A3: the kernel
+	// fragments/reassembles the datagram.
+	big := make([]byte, 9000)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := a.Multicast(big); err != nil {
+		t.Fatal(err)
+	}
+	got := recvWithin(t, b.Data(), 2*time.Second)
+	if len(got) != len(big) {
+		t.Fatalf("got %d bytes, want %d", len(got), len(big))
+	}
+	for i := range got {
+		if got[i] != big[i] {
+			t.Fatalf("corruption at %d", i)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package wire
+
+import "fmt"
+
+// Token is the regular token circulated around an operational ring
+// (Section III-A of the paper). It is sent point-to-point (UDP unicast in
+// the real transport) from each participant to its successor.
+type Token struct {
+	// RingID identifies the ring configuration this token belongs to.
+	RingID RingID
+	// TokenSeq increments on every fresh forward of the token and is used
+	// to discard duplicates created by token retransmission after a
+	// suspected loss. A retransmitted token carries the same TokenSeq.
+	TokenSeq uint64
+	// Round is the token hop count, incremented by each participant as it
+	// forwards the token. Data messages stamp the sender's Round so that
+	// receivers can order token processing relative to the data stream.
+	Round Round
+	// Seq is the highest sequence number claimed by any participant. The
+	// receiver may initiate messages with sequence numbers from Seq+1.
+	// Under acceleration Seq may reference messages not yet multicast.
+	Seq Seq
+	// ARU (all-received-up-to) is the running estimate of the highest
+	// sequence number such that every participant has received every
+	// message up to and including it.
+	ARU Seq
+	// ARUID records the participant that last lowered ARU, or zero when
+	// ARU is not being held down by anyone.
+	ARUID ParticipantID
+	// FCC (flow control count) is the total number of multicasts —
+	// retransmissions plus new messages — sent during the last full token
+	// rotation.
+	FCC uint32
+	// RTR lists sequence numbers whose messages some participant is
+	// missing and has requested for retransmission.
+	RTR []Seq
+}
+
+const tokenFixedSize = 4 + // header
+	12 + // ring id
+	8 + // token seq
+	8 + // round
+	8 + // seq
+	8 + // aru
+	4 + // aru id
+	4 + // fcc
+	4 // rtr count
+
+// EncodedSize returns the exact size of the encoded token.
+func (t *Token) EncodedSize() int { return tokenFixedSize + 8*len(t.RTR) }
+
+// Encode serializes the token. It fails only if the RTR list exceeds
+// MaxRTR.
+func (t *Token) Encode() ([]byte, error) {
+	if len(t.RTR) > MaxRTR {
+		return nil, fmt.Errorf("%w: %d rtr entries > %d", ErrTooLarge, len(t.RTR), MaxRTR)
+	}
+	w := newWriter(t.EncodedSize())
+	w.header(KindToken)
+	encodeRingID(w, t.RingID)
+	w.u64(t.TokenSeq)
+	w.u64(uint64(t.Round))
+	w.u64(uint64(t.Seq))
+	w.u64(uint64(t.ARU))
+	w.u32(uint32(t.ARUID))
+	w.u32(t.FCC)
+	w.u32(uint32(len(t.RTR)))
+	for _, s := range t.RTR {
+		w.u64(uint64(s))
+	}
+	return w.buf, nil
+}
+
+// DecodeToken parses a token packet. The returned token's RTR slice does
+// not alias pkt.
+func DecodeToken(pkt []byte) (*Token, error) {
+	r := reader{buf: pkt}
+	r.header(KindToken)
+	var t Token
+	t.RingID = decodeRingID(&r)
+	t.TokenSeq = r.u64()
+	t.Round = Round(r.u64())
+	t.Seq = Seq(r.u64())
+	t.ARU = Seq(r.u64())
+	t.ARUID = ParticipantID(r.u32())
+	t.FCC = r.u32()
+	n := r.u32()
+	if n > MaxRTR {
+		return nil, fmt.Errorf("%w: %d rtr entries > %d", ErrTooLarge, n, MaxRTR)
+	}
+	if n > 0 {
+		t.RTR = make([]Seq, n)
+		for i := range t.RTR {
+			t.RTR[i] = Seq(r.u64())
+		}
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// Clone returns a deep copy of the token, so that a forwarded token can be
+// retained for retransmission while the engine mutates its working copy.
+func (t *Token) Clone() *Token {
+	c := *t
+	if t.RTR != nil {
+		c.RTR = make([]Seq, len(t.RTR))
+		copy(c.RTR, t.RTR)
+	}
+	return &c
+}

@@ -1,0 +1,244 @@
+package accelring
+
+import (
+	"fmt"
+	"time"
+
+	"accelring/internal/core"
+	"accelring/internal/wire"
+)
+
+// timerFire carries a timer expiry into the protocol loop. The generation
+// number invalidates expiries of timers that were re-armed or cancelled
+// after the expiry was already in flight.
+type timerFire struct {
+	kind core.TimerKind
+	gen  uint64
+}
+
+// timerSet tracks the runtime's armed timers on behalf of the engine.
+type timerSet struct {
+	fired  chan timerFire
+	gens   map[core.TimerKind]uint64
+	timers map[core.TimerKind]*time.Timer
+}
+
+func newTimerSet() *timerSet {
+	return &timerSet{
+		fired:  make(chan timerFire, 16),
+		gens:   make(map[core.TimerKind]uint64),
+		timers: make(map[core.TimerKind]*time.Timer),
+	}
+}
+
+func (ts *timerSet) set(kind core.TimerKind, after time.Duration) {
+	ts.gens[kind]++
+	gen := ts.gens[kind]
+	if t, ok := ts.timers[kind]; ok {
+		t.Stop()
+	}
+	ts.timers[kind] = time.AfterFunc(after, func() {
+		select {
+		case ts.fired <- timerFire{kind: kind, gen: gen}:
+		default:
+			// The loop is saturated with timer events; this expiry is
+			// stale by the time it would be read anyway.
+		}
+	})
+}
+
+func (ts *timerSet) cancel(kind core.TimerKind) {
+	ts.gens[kind]++
+	if t, ok := ts.timers[kind]; ok {
+		t.Stop()
+		delete(ts.timers, kind)
+	}
+}
+
+// current reports whether a fire event is still valid.
+func (ts *timerSet) current(f timerFire) bool { return ts.gens[f.kind] == f.gen }
+
+func (ts *timerSet) stopAll() {
+	for _, t := range ts.timers {
+		t.Stop()
+	}
+}
+
+// loop is the single protocol goroutine: it owns the engine, reads packets
+// honoring the token/data priority policy, executes engine actions, and
+// serves submissions and stats requests.
+func (n *Node) loop(eng *core.Engine, initial []core.Action) {
+	ts := newTimerSet()
+	defer func() {
+		ts.stopAll()
+		n.tr.Close()
+		close(n.events)
+		close(n.done)
+	}()
+
+	n.execute(eng, ts, initial)
+
+	dataCh := n.tr.Data()
+	tokenCh := n.tr.Token()
+
+	for {
+		// Priority pass (Section III-C): while the token has high
+		// priority, prefer the token socket; otherwise prefer data.
+		if eng.TokenHasPriority() {
+			select {
+			case pkt, ok := <-tokenCh:
+				if !ok {
+					return
+				}
+				n.handlePacket(eng, ts, pkt)
+				continue
+			default:
+			}
+		} else {
+			select {
+			case pkt, ok := <-dataCh:
+				if !ok {
+					return
+				}
+				n.handlePacket(eng, ts, pkt)
+				continue
+			default:
+			}
+		}
+
+		select {
+		case pkt, ok := <-dataCh:
+			if !ok {
+				return
+			}
+			n.handlePacket(eng, ts, pkt)
+		case pkt, ok := <-tokenCh:
+			if !ok {
+				return
+			}
+			n.handlePacket(eng, ts, pkt)
+		case f := <-ts.fired:
+			if ts.current(f) {
+				n.execute(eng, ts, eng.HandleTimer(f.kind))
+			}
+		case req := <-n.submitCh:
+			req.errCh <- eng.Submit(req.payload, req.service)
+		case ch := <-n.statsCh:
+			ch <- eng.Stats()
+		case <-n.stopCh:
+			return
+		}
+	}
+}
+
+// handlePacket decodes one packet and feeds it to the engine.
+func (n *Node) handlePacket(eng *core.Engine, ts *timerSet, pkt []byte) {
+	kind, err := wire.PeekKind(pkt)
+	if err != nil {
+		n.noteErr(fmt.Errorf("accelring: bad packet: %w", err))
+		return
+	}
+	var actions []core.Action
+	switch kind {
+	case wire.KindData:
+		m, err := wire.DecodeData(pkt)
+		if err != nil {
+			n.noteErr(err)
+			return
+		}
+		actions = eng.HandleData(m)
+	case wire.KindToken:
+		t, err := wire.DecodeToken(pkt)
+		if err != nil {
+			n.noteErr(err)
+			return
+		}
+		actions = eng.HandleToken(t)
+	case wire.KindJoin:
+		j, err := wire.DecodeJoin(pkt)
+		if err != nil {
+			n.noteErr(err)
+			return
+		}
+		actions = eng.HandleJoin(j)
+	case wire.KindCommit:
+		c, err := wire.DecodeCommit(pkt)
+		if err != nil {
+			n.noteErr(err)
+			return
+		}
+		actions = eng.HandleCommit(c)
+	}
+	n.execute(eng, ts, actions)
+}
+
+// execute carries out engine actions in order.
+func (n *Node) execute(eng *core.Engine, ts *timerSet, actions []core.Action) {
+	for _, a := range actions {
+		switch act := a.(type) {
+		case core.SendData:
+			pkt, err := act.Msg.Encode()
+			if err != nil {
+				n.noteErr(err)
+				continue
+			}
+			if err := n.tr.Multicast(pkt); err != nil {
+				n.noteErr(err)
+			}
+		case core.SendToken:
+			pkt, err := act.Token.Encode()
+			if err != nil {
+				n.noteErr(err)
+				continue
+			}
+			if err := n.tr.Unicast(act.To, pkt); err != nil {
+				n.noteErr(err)
+			}
+		case core.SendJoin:
+			pkt, err := act.Join.Encode()
+			if err != nil {
+				n.noteErr(err)
+				continue
+			}
+			if err := n.tr.Multicast(pkt); err != nil {
+				n.noteErr(err)
+			}
+		case core.SendCommit:
+			pkt, err := act.Commit.Encode()
+			if err != nil {
+				n.noteErr(err)
+				continue
+			}
+			if err := n.tr.Unicast(act.To, pkt); err != nil {
+				n.noteErr(err)
+			}
+		case core.Deliver:
+			n.deliver(Message{
+				Sender:  act.Msg.PID,
+				Service: act.Msg.Service,
+				Payload: act.Msg.Payload,
+			})
+		case core.DeliverConfig:
+			n.deliver(ConfigChange{Config: act.Config, Transitional: act.Transitional})
+		case core.SetTimer:
+			ts.set(act.Kind, act.After)
+		case core.CancelTimer:
+			ts.cancel(act.Kind)
+		}
+	}
+}
+
+// deliver blocks until the application accepts the event (or the node is
+// stopped): ordered events must never be dropped.
+func (n *Node) deliver(ev Event) {
+	select {
+	case n.events <- ev:
+	case <-n.stopCh:
+	}
+}
+
+func (n *Node) noteErr(err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.lastErr = err
+}

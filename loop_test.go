@@ -1,0 +1,132 @@
+package accelring
+
+import (
+	"testing"
+	"time"
+
+	"accelring/internal/core"
+)
+
+func TestTimerSetGenerationsInvalidateStaleFires(t *testing.T) {
+	ts := newTimerSet()
+	defer ts.stopAll()
+	ts.set(core.TimerTokenLoss, time.Millisecond)
+	f := <-ts.fired
+	if !ts.current(f) {
+		t.Fatal("fresh fire reported stale")
+	}
+	// Re-arming invalidates any in-flight fire of the old generation.
+	ts.set(core.TimerTokenLoss, time.Millisecond)
+	if ts.current(f) {
+		t.Fatal("stale fire reported current after re-arm")
+	}
+	f2 := <-ts.fired
+	if !ts.current(f2) {
+		t.Fatal("second fire reported stale")
+	}
+}
+
+func TestTimerSetCancel(t *testing.T) {
+	ts := newTimerSet()
+	defer ts.stopAll()
+	ts.set(core.TimerJoin, time.Millisecond)
+	ts.cancel(core.TimerJoin)
+	select {
+	case f := <-ts.fired:
+		if ts.current(f) {
+			t.Fatal("cancelled timer fire reported current")
+		}
+	case <-time.After(20 * time.Millisecond):
+		// Fine: the timer was stopped before firing.
+	}
+}
+
+func TestNodeIgnoresGarbagePackets(t *testing.T) {
+	net := NewMemoryNetwork(8)
+	nodes := startCluster(t, net, 2, AcceleratedRing)
+
+	// A rogue endpoint floods the ring with garbage on both sockets.
+	rogue := net.Endpoint(99)
+	for i := 0; i < 50; i++ {
+		if err := rogue.Multicast([]byte("not a protocol packet")); err != nil {
+			t.Fatal(err)
+		}
+		if err := rogue.Unicast(1, []byte{0xde, 0xad}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The ring still orders and delivers.
+	if err := nodes[0].Submit([]byte("still alive"), Agreed); err != nil {
+		t.Fatal(err)
+	}
+	msgs, _ := collect(t, nodes[1], 1, 10*time.Second)
+	if string(msgs[0].Payload) != "still alive" {
+		t.Fatalf("got %q", msgs[0].Payload)
+	}
+	// The garbage was noticed, not swallowed silently.
+	if nodes[0].Err() == nil {
+		t.Fatal("garbage packets left no trace in Err()")
+	}
+}
+
+func TestNodeDoubleCloseIsSafe(t *testing.T) {
+	net := NewMemoryNetwork(9)
+	nodes := startCluster(t, net, 2, AcceleratedRing)
+	if err := nodes[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodes[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventsChannelClosesOnClose(t *testing.T) {
+	net := NewMemoryNetwork(10)
+	nodes := startCluster(t, net, 2, AcceleratedRing)
+	nodes[0].Close()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-nodes[0].Events():
+			if !ok {
+				return
+			}
+		case <-deadline:
+			t.Fatal("events channel never closed")
+		}
+	}
+}
+
+func TestWindowsArePassedThrough(t *testing.T) {
+	net := NewMemoryNetwork(11)
+	node, err := Start(Options{
+		ID:        1,
+		Transport: net.Endpoint(1),
+		Members:   []ParticipantID{1},
+		Windows:   Windows{Personal: 10, Global: 50, Accelerated: 5, MaxSeqGap: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if err := node.Submit([]byte("x"), Agreed); err != nil {
+		t.Fatal(err)
+	}
+	msgs, _ := collect(t, node, 1, 5*time.Second)
+	if string(msgs[0].Payload) != "x" {
+		t.Fatalf("got %q", msgs[0].Payload)
+	}
+}
+
+func TestInvalidWindowsRejected(t *testing.T) {
+	net := NewMemoryNetwork(12)
+	_, err := Start(Options{
+		ID:        1,
+		Transport: net.Endpoint(1),
+		Members:   []ParticipantID{1},
+		Windows:   Windows{Personal: 5, Accelerated: 50}, // accel > personal
+	})
+	if err == nil {
+		t.Fatal("invalid windows accepted")
+	}
+}

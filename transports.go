@@ -1,0 +1,85 @@
+package accelring
+
+import (
+	"time"
+
+	"accelring/internal/transport"
+	"accelring/internal/transport/memnet"
+	"accelring/internal/transport/udpnet"
+)
+
+// Transport moves protocol packets between participants: multicast for
+// data, unicast for the token, received on separate channels.
+type Transport = transport.Transport
+
+// Peer is the addressing information for one participant on a UDP network.
+type Peer struct {
+	// Host is the peer's IP address or hostname.
+	Host string
+	// DataPort receives data packets when multicast emulation is in use
+	// (MulticastGroup empty).
+	DataPort int
+	// TokenPort receives the unicast token.
+	TokenPort int
+}
+
+// UDPOptions configures the real-network transport: IP-multicast for data
+// messages and UDP unicast for the token, on separate sockets as in the
+// paper's implementations.
+type UDPOptions struct {
+	// ID is this participant.
+	ID ParticipantID
+	// Peers maps every ring participant (including ID) to its addresses.
+	Peers map[ParticipantID]Peer
+	// MulticastGroup is the data multicast group, e.g. "239.192.7.4:7400".
+	// Leave empty to emulate multicast with unicast fan-out (for networks
+	// without IP-multicast, as Spread optionally does).
+	MulticastGroup string
+}
+
+// NewUDPTransport opens a UDP/IP-multicast transport.
+func NewUDPTransport(opts UDPOptions) (Transport, error) {
+	peers := make(map[ParticipantID]udpnet.Peer, len(opts.Peers))
+	for id, p := range opts.Peers {
+		peers[id] = udpnet.Peer{Host: p.Host, DataPort: p.DataPort, TokenPort: p.TokenPort}
+	}
+	return udpnet.New(udpnet.Config{
+		MyID:           opts.ID,
+		Peers:          peers,
+		MulticastGroup: opts.MulticastGroup,
+	})
+}
+
+// MemoryNetwork is an in-process network hub for tests, simulations and
+// single-process demos. It supports fault injection: packet loss and
+// network partitions.
+type MemoryNetwork struct {
+	hub *memnet.Hub
+}
+
+// NewMemoryNetwork creates an in-process network. The seed drives the loss
+// generator, making fault injection reproducible.
+func NewMemoryNetwork(seed int64) *MemoryNetwork {
+	return &MemoryNetwork{hub: memnet.NewHub(seed)}
+}
+
+// Endpoint attaches a participant to the network.
+func (m *MemoryNetwork) Endpoint(id ParticipantID) Transport {
+	return m.hub.Join(id)
+}
+
+// SetLossRate drops each delivered packet independently with probability p.
+func (m *MemoryNetwork) SetLossRate(p float64) { m.hub.SetLossRate(p) }
+
+// SetLatency sets the per-hop delivery latency for endpoints created
+// afterwards (default 100µs, a fast LAN).
+func (m *MemoryNetwork) SetLatency(d time.Duration) { m.hub.SetLatency(d) }
+
+// SetPartition assigns a participant to a partition group; traffic flows
+// only within a group. All participants start in group 0.
+func (m *MemoryNetwork) SetPartition(id ParticipantID, group int) {
+	m.hub.SetPartition(id, group)
+}
+
+// Heal reconnects all partitions.
+func (m *MemoryNetwork) Heal() { m.hub.Heal() }
