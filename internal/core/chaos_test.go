@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"accelring/internal/evscheck"
+	"accelring/internal/faultplan"
+	"accelring/internal/wire"
+)
+
+// Chaos soak: each seed deterministically generates a fault program (loss
+// bursts, duplication, reordering delay, a partition with heal, a crash
+// with restart), runs a five-node ring under deterministic traffic while
+// the program executes, then demands a clean EVS verdict on the merged
+// delivery logs of every incarnation. Every seed runs twice and the two
+// event traces must be bit-identical — a failure therefore reproduces with
+//
+//	go test ./internal/core -run 'TestChaosCampaign/seed=<N>' -v
+//
+// chaosNodes and chaosFaultWindow are part of the reproduction contract:
+// changing them changes every seed's trace.
+const (
+	chaosNodes       = 5
+	chaosFaultWindow = 600 * time.Millisecond
+	chaosMsgsPerNode = 40
+)
+
+// runChaosSeed executes one seeded chaos run to quiescence and returns the
+// digest of the full event trace.
+func runChaosSeed(t *testing.T, seed int64) string {
+	t.Helper()
+	plan := faultplan.Generate(seed, chaosNodes, chaosFaultWindow, faultplan.ClassAll)
+	h := newHarness(t, chaosNodes, accelConfig())
+	h.applyPlan(&plan)
+	h.startStatic()
+
+	// Deterministic traffic: every node submits a message each 10ms of
+	// virtual time, staggered per node, every fifth one with Safe service.
+	// Submissions at crashed nodes are silently lost, as in a real outage.
+	for id := wire.ParticipantID(1); id <= chaosNodes; id++ {
+		for i := 0; i < chaosMsgsPerNode; i++ {
+			id, i := id, i
+			at := time.Duration(i)*10*time.Millisecond + time.Duration(id)*time.Millisecond
+			svc := wire.ServiceAgreed
+			if i%5 == 0 {
+				svc = wire.ServiceSafe
+			}
+			h.schedule(at, func() { h.trySubmit(id, payload(id, i), svc) })
+		}
+	}
+
+	// Run through the fault window, then settle: all faults end and all
+	// crashed nodes restart within the window, so the full ring re-forms
+	// and drains every pending message well within the settle period.
+	h.run(chaosFaultWindow + 5*time.Second)
+	h.checkEVSQuiescent()
+	return evscheck.Digest(h.evLog())
+}
+
+func TestChaosCampaign(t *testing.T) {
+	seeds := make([]int64, 24)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	if testing.Short() {
+		seeds = seeds[:6]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			first := runChaosSeed(t, seed)
+			again := runChaosSeed(t, seed)
+			if first != again {
+				t.Fatalf("seed %d is not deterministic: two runs produced different event traces\n"+
+					"first:  %s\nsecond: %s", seed, first, again)
+			}
+		})
+	}
+}
+
+// TestChaosCrashPartitionSeedStable picks the first seed whose generated
+// plan combines a partition with a crash/restart (the heaviest fault mix)
+// and verifies that seed replays to an identical trace. The search is
+// deterministic, so the chosen seed is stable for a given generator.
+func TestChaosCrashPartitionSeedStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	pin := int64(-1)
+	for seed := int64(1); seed <= 200; seed++ {
+		plan := faultplan.Generate(seed, chaosNodes, chaosFaultWindow, faultplan.ClassAll)
+		var hasCrash, hasPartition bool
+		for _, ev := range plan.Events {
+			switch ev.Kind {
+			case faultplan.EventCrash:
+				hasCrash = true
+			case faultplan.EventPartition:
+				hasPartition = true
+			}
+		}
+		if hasCrash && hasPartition {
+			pin = seed
+			break
+		}
+	}
+	if pin < 0 {
+		t.Fatal("no seed in 1..200 generates crash+partition; generator probabilities broken")
+	}
+	t.Logf("pinned crash+partition seed: %d", pin)
+	if runChaosSeed(t, pin) != runChaosSeed(t, pin) {
+		t.Fatalf("seed %d is not deterministic", pin)
+	}
+}

@@ -1,119 +1,40 @@
 package core
 
 import (
-	"fmt"
 	"testing"
 	"time"
 
+	"accelring/internal/evscheck"
 	"accelring/internal/wire"
 )
 
-// This file implements a checker for the Extended Virtual Synchrony axioms
-// over the event histories the harness records, and applies it to a rough
-// mixed-fault scenario. The checker verifies, per node and across nodes:
-//
-//  1. sane configuration sequencing: messages are only delivered after a
-//     first regular configuration; at most one transitional configuration
-//     between regular ones;
-//  2. no duplicate deliveries at a node;
-//  3. agreement: two nodes that install the same regular configuration
-//     (same ring ID) deliver prefix-consistent message sequences between
-//     that installation and their respective next configuration event;
-//  4. per-sender FIFO within each node's whole history.
+// The EVS conformance checker itself lives in internal/evscheck (with its
+// own mutation self-tests); the harness exposes it as one call so every
+// scenario and chaos campaign ends with the same machine-checked verdict.
 
-// epoch is the stretch of messages one node delivered in one regular
-// configuration.
-type epoch struct {
-	id   wire.RingID
-	msgs []string
-}
-
-// nodeEpochs splits a node's history into per-configuration epochs.
-// It fails the test on axiom 1 or 2 violations.
-func nodeEpochs(t *testing.T, n *hnode) []epoch {
-	t.Helper()
-	var epochs []epoch
-	var cur *epoch
-	transSinceRegular := 0
-	seen := map[string]bool{}
-	for _, d := range n.delivered {
-		if d.msg == nil {
-			if d.trans {
-				transSinceRegular++
-				if transSinceRegular > 1 {
-					t.Fatalf("node %s: two transitional configs without a regular one", n.id)
-				}
-				// Messages after the transitional config belong to the
-				// transitional epoch; we close the regular epoch here.
-				cur = nil
-				continue
-			}
-			transSinceRegular = 0
-			epochs = append(epochs, epoch{id: d.config.ID})
-			cur = &epochs[len(epochs)-1]
-			continue
-		}
-		if cur == nil && len(epochs) == 0 {
-			t.Fatalf("node %s: delivery before any configuration", n.id)
-		}
-		key := string(d.msg.Payload)
-		if seen[key] {
-			t.Fatalf("node %s: duplicate delivery %q", n.id, key)
-		}
-		seen[key] = true
-		if cur != nil {
-			cur.msgs = append(cur.msgs, key)
-		}
-	}
-	return epochs
-}
-
-// checkEVS applies the axioms across all nodes of the harness.
+// checkEVS applies the EVS axioms across all nodes (and all incarnations)
+// of the harness.
 func (h *harness) checkEVS() {
 	h.t.Helper()
-	perNode := make(map[wire.ParticipantID][]epoch, len(h.nodes))
-	for _, n := range h.nodes {
-		perNode[n.id] = nodeEpochs(h.t, n)
-	}
-	// Axiom 3: prefix consistency within shared regular configurations.
-	for i, a := range h.nodes {
-		for _, b := range h.nodes[i+1:] {
-			for _, ea := range perNode[a.id] {
-				for _, eb := range perNode[b.id] {
-					if ea.id != eb.id {
-						continue
-					}
-					n := len(ea.msgs)
-					if len(eb.msgs) < n {
-						n = len(eb.msgs)
-					}
-					for k := 0; k < n; k++ {
-						if ea.msgs[k] != eb.msgs[k] {
-							h.t.Fatalf("config %v: nodes %s and %s diverge at %d: %q vs %q",
-								ea.id, a.id, b.id, k, ea.msgs[k], eb.msgs[k])
-						}
-					}
-				}
-			}
+	h.checkEVSOptions(evscheck.Options{})
+}
+
+// checkEVSQuiescent additionally enforces end-of-run completeness: every
+// live node sharing the final configuration must have delivered the
+// identical message sequence. Only valid after the run has settled with no
+// traffic in flight.
+func (h *harness) checkEVSQuiescent() {
+	h.t.Helper()
+	h.checkEVSOptions(evscheck.Options{Quiescent: true})
+}
+
+func (h *harness) checkEVSOptions(opt evscheck.Options) {
+	h.t.Helper()
+	if vs := evscheck.Check(h.evLog(), opt); len(vs) > 0 {
+		for _, v := range vs {
+			h.t.Errorf("EVS violation: %v", v)
 		}
-	}
-	// Axiom 4: per-sender FIFO over each node's full history.
-	for _, n := range h.nodes {
-		last := map[wire.ParticipantID]int{}
-		for _, d := range n.delivered {
-			if d.msg == nil {
-				continue
-			}
-			var sender, idx int
-			if _, err := fmt.Sscanf(string(d.msg.Payload), "m-%d-%d", &sender, &idx); err != nil {
-				continue // not a harness payload
-			}
-			pid := wire.ParticipantID(sender)
-			if prev, ok := last[pid]; ok && idx <= prev {
-				h.t.Fatalf("node %s: sender %s FIFO violated: %d after %d", n.id, pid, idx, prev)
-			}
-			last[pid] = idx
-		}
+		h.t.FailNow()
 	}
 }
 

@@ -7,6 +7,8 @@ import (
 	"testing"
 	"time"
 
+	"accelring/internal/evscheck"
+	"accelring/internal/faultplan"
 	"accelring/internal/wire"
 )
 
@@ -56,6 +58,9 @@ type hnode struct {
 	timers    map[TimerKind]time.Duration // armed deadline per kind
 	delivered []delivery
 	crashed   bool
+	// prior holds the delivery histories of earlier incarnations of this
+	// node (one entry per crash that was followed by a restart).
+	prior [][]delivery
 }
 
 // appMsgs returns the node's delivered application messages.
@@ -82,12 +87,18 @@ func (n *hnode) configs() []delivery {
 
 type harness struct {
 	t      *testing.T
+	tmpl   Config
 	nodes  []*hnode
 	byID   map[wire.ParticipantID]*hnode
 	now    time.Duration
 	events heventQueue
 	evSeq  uint64
 	delay  time.Duration
+
+	// fault, when non-nil, is consulted for every packet transmission; it
+	// can drop, duplicate or delay packets and enforces the fault plan's
+	// partition schedule. Installed by applyPlan.
+	fault *faultplan.Injector
 
 	// partition maps node ID to a group number; messages only flow between
 	// nodes in the same group. Empty map means fully connected.
@@ -115,29 +126,13 @@ func newHarness(t *testing.T, n int, tmpl Config) *harness {
 	t.Helper()
 	h := &harness{
 		t:         t,
+		tmpl:      tmpl,
 		byID:      make(map[wire.ParticipantID]*hnode, n),
 		delay:     defaultHopDelay,
 		partition: map[wire.ParticipantID]int{},
 	}
 	for i := 1; i <= n; i++ {
-		cfg := tmpl
-		cfg.MyID = wire.ParticipantID(i)
-		// Short timers so membership tests run in small virtual time.
-		if cfg.TokenLossTimeout == 0 {
-			cfg.TokenLossTimeout = 50 * time.Millisecond
-		}
-		if cfg.TokenRetransPeriod == 0 {
-			cfg.TokenRetransPeriod = 10 * time.Millisecond
-		}
-		if cfg.JoinPeriod == 0 {
-			cfg.JoinPeriod = 5 * time.Millisecond
-		}
-		if cfg.ConsensusTimeout == 0 {
-			cfg.ConsensusTimeout = 25 * time.Millisecond
-		}
-		if cfg.CommitTimeout == 0 {
-			cfg.CommitTimeout = 25 * time.Millisecond
-		}
+		cfg := h.nodeConfig(wire.ParticipantID(i))
 		eng, err := New(cfg)
 		if err != nil {
 			t.Fatalf("New engine %d: %v", i, err)
@@ -147,6 +142,29 @@ func newHarness(t *testing.T, n int, tmpl Config) *harness {
 		h.byID[cfg.MyID] = node
 	}
 	return h
+}
+
+// nodeConfig instantiates the harness config template for one node, with
+// short timers so membership tests run in small virtual time.
+func (h *harness) nodeConfig(id wire.ParticipantID) Config {
+	cfg := h.tmpl
+	cfg.MyID = id
+	if cfg.TokenLossTimeout == 0 {
+		cfg.TokenLossTimeout = 50 * time.Millisecond
+	}
+	if cfg.TokenRetransPeriod == 0 {
+		cfg.TokenRetransPeriod = 10 * time.Millisecond
+	}
+	if cfg.JoinPeriod == 0 {
+		cfg.JoinPeriod = 5 * time.Millisecond
+	}
+	if cfg.ConsensusTimeout == 0 {
+		cfg.ConsensusTimeout = 25 * time.Millisecond
+	}
+	if cfg.CommitTimeout == 0 {
+		cfg.CommitTimeout = 25 * time.Millisecond
+	}
+	return cfg
 }
 
 func (h *harness) node(id wire.ParticipantID) *hnode { return h.byID[id] }
@@ -204,6 +222,14 @@ func (h *harness) execute(n *hnode, actions []Action) {
 	}
 }
 
+// faultVerdict consults the installed fault plan for one transmission.
+func (h *harness) faultVerdict(from, to wire.ParticipantID, kind wire.Kind) faultplan.Verdict {
+	if h.fault == nil {
+		return faultplan.Verdict{}
+	}
+	return h.fault.Decide(h.now, from, to, kind)
+}
+
 func (h *harness) multicastData(from *hnode, m *wire.DataMessage) {
 	for _, to := range h.nodes {
 		if to.id == from.id || !h.connected(from.id, to.id) {
@@ -212,14 +238,18 @@ func (h *harness) multicastData(from *hnode, m *wire.DataMessage) {
 		if h.dropData != nil && h.dropData(from.id, to.id, m) {
 			continue
 		}
+		v := h.faultVerdict(from.id, to.id, wire.KindData)
+		if v.Drop {
+			continue
+		}
 		copies := 1
-		if h.dupData != nil && h.dupData(from.id, to.id, m) {
+		if v.Dup || (h.dupData != nil && h.dupData(from.id, to.id, m)) {
 			copies = 2
 		}
 		for c := 0; c < copies; c++ {
 			cp := *m
 			target := to
-			delay := h.delay
+			delay := h.delay + v.Delay
 			if h.jitter != nil {
 				delay += h.jitter()
 			}
@@ -239,13 +269,23 @@ func (h *harness) sendToken(from *hnode, toID wire.ParticipantID, tok *wire.Toke
 	if h.dropToken != nil && h.dropToken(from.id, toID, tok) {
 		return
 	}
-	cp := tok.Clone()
+	v := h.faultVerdict(from.id, toID, wire.KindToken)
+	if v.Drop {
+		return
+	}
 	target := h.node(toID)
-	h.schedule(h.delay, func() {
-		if target != nil && !target.crashed {
-			h.execute(target, target.eng.HandleToken(cp))
-		}
-	})
+	copies := 1
+	if v.Dup {
+		copies = 2
+	}
+	for c := 0; c < copies; c++ {
+		cp := tok.Clone()
+		h.schedule(h.delay+v.Delay, func() {
+			if target != nil && !target.crashed {
+				h.execute(target, target.eng.HandleToken(cp))
+			}
+		})
+	}
 }
 
 func (h *harness) multicastJoin(from *hnode, j *wire.JoinMessage) {
@@ -253,9 +293,13 @@ func (h *harness) multicastJoin(from *hnode, j *wire.JoinMessage) {
 		if to.id == from.id || !h.connected(from.id, to.id) {
 			continue
 		}
+		v := h.faultVerdict(from.id, to.id, wire.KindJoin)
+		if v.Drop {
+			continue
+		}
 		cp := *j
 		target := to
-		h.schedule(h.delay, func() {
+		h.schedule(h.delay+v.Delay, func() {
 			if !target.crashed {
 				h.execute(target, target.eng.HandleJoin(&cp))
 			}
@@ -267,9 +311,13 @@ func (h *harness) sendCommit(from *hnode, toID wire.ParticipantID, ct *wire.Comm
 	if !h.connected(from.id, toID) && toID != from.id {
 		return
 	}
+	v := h.faultVerdict(from.id, toID, wire.KindCommit)
+	if v.Drop {
+		return
+	}
 	cp := ct.Clone()
 	target := h.node(toID)
-	h.schedule(h.delay, func() {
+	h.schedule(h.delay+v.Delay, func() {
 		if target != nil && !target.crashed {
 			h.execute(target, target.eng.HandleCommit(cp))
 		}
@@ -326,6 +374,55 @@ func (h *harness) crash(id wire.ParticipantID) {
 	h.node(id).crashed = true
 }
 
+// restart revives a crashed node with a fresh engine (a new incarnation):
+// the old delivery history is archived, all timers are cleared, and the
+// new engine starts membership formation to rejoin the ring.
+func (h *harness) restart(id wire.ParticipantID) {
+	n := h.node(id)
+	if !n.crashed {
+		h.t.Fatalf("restart(%s): node is not crashed", id)
+	}
+	eng, err := New(h.nodeConfig(id))
+	if err != nil {
+		h.t.Fatalf("restart(%s): %v", id, err)
+	}
+	n.prior = append(n.prior, n.delivered)
+	n.delivered = nil
+	n.eng = eng
+	n.timers = make(map[TimerKind]time.Duration)
+	n.crashed = false
+	h.execute(n, eng.Start())
+}
+
+// applyPlan installs a fault plan: link faults and partitions are enforced
+// on every future transmission, and the plan's crash/restart events are
+// scheduled at their virtual times. Call before starting the nodes.
+func (h *harness) applyPlan(p *faultplan.Plan) {
+	h.fault = p.Injector()
+	for _, ev := range p.NodeEvents() {
+		ev := ev
+		switch ev.Kind {
+		case faultplan.EventCrash:
+			h.schedule(ev.At-h.now, func() { h.crash(ev.Node) })
+		case faultplan.EventRestart:
+			h.schedule(ev.At-h.now, func() { h.restart(ev.Node) })
+			// Partition and heal events are enforced by the injector on
+			// every transmission; nothing to schedule here.
+		}
+	}
+}
+
+// trySubmit queues an application message at a node, tolerating crashed
+// nodes and full backlogs (chaos traffic generators must not abort the
+// test when the plan has just killed their node).
+func (h *harness) trySubmit(id wire.ParticipantID, payload []byte, svc wire.Service) bool {
+	n := h.node(id)
+	if n.crashed {
+		return false
+	}
+	return n.eng.Submit(payload, svc) == nil
+}
+
 // payload builds a distinguishable payload.
 func payload(node wire.ParticipantID, i int) []byte {
 	return []byte(fmt.Sprintf("m-%d-%d", node, i))
@@ -361,6 +458,50 @@ func (h *harness) checkAllDelivered(want int, ids ...wire.ParticipantID) {
 	for _, id := range ids {
 		if got := len(h.node(id).appMsgs()); got != want {
 			h.t.Fatalf("node %s delivered %d messages, want %d", id, got, want)
+		}
+	}
+}
+
+// evLog converts every node's history (all incarnations) into the
+// conformance checker's log format. Harness payloads ("m-<sender>-<idx>")
+// provide the message key and the per-sender FIFO counter; other payloads
+// are checked for ordering and duplication only.
+func (h *harness) evLog() evscheck.Log {
+	l := evscheck.Log{}
+	for _, n := range h.nodes {
+		for inc, hist := range n.prior {
+			nl := l.Node(logName(n.id, inc))
+			nl.Crashed = true // an archived incarnation ended in a crash
+			appendEvents(nl, hist)
+		}
+		nl := l.Node(logName(n.id, len(n.prior)))
+		nl.Crashed = n.crashed
+		appendEvents(nl, n.delivered)
+	}
+	return l
+}
+
+// logName labels one incarnation of a node: "3" for the first, "3#2" for
+// the second (after one restart), and so on.
+func logName(id wire.ParticipantID, incarnation int) string {
+	if incarnation == 0 {
+		return fmt.Sprintf("%d", uint32(id))
+	}
+	return fmt.Sprintf("%d#%d", uint32(id), incarnation+1)
+}
+
+func appendEvents(nl *evscheck.NodeLog, hist []delivery) {
+	for _, d := range hist {
+		if d.msg == nil {
+			nl.Install(d.config.ID, d.config.Members, d.trans)
+			continue
+		}
+		key := string(d.msg.Payload)
+		var sender, idx int
+		if _, err := fmt.Sscanf(key, "m-%d-%d", &sender, &idx); err == nil {
+			nl.Deliver(key, wire.ParticipantID(sender), uint64(idx)+1, d.msg.Service)
+		} else {
+			nl.Deliver(key, 0, 0, d.msg.Service)
 		}
 	}
 }

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"accelring/internal/wire"
+)
+
+// TestRestartRejoinsRing crashes a node mid-stream, lets the survivors
+// reconfigure, then revives it with a fresh engine: the new incarnation
+// must rejoin through the membership protocol, the full ring must order
+// traffic again, and the merged delivery logs of all incarnations must
+// pass the conformance checker.
+func TestRestartRejoinsRing(t *testing.T) {
+	h := newHarness(t, 3, accelConfig())
+	h.startStatic()
+	for i := 0; i < 10; i++ {
+		for id := wire.ParticipantID(1); id <= 3; id++ {
+			h.submit(id, payload(id, i), wire.ServiceAgreed)
+		}
+	}
+	h.run(100 * time.Millisecond)
+
+	h.crash(3)
+	h.waitConfig(5*time.Second, []wire.ParticipantID{1, 2}, 1, 2)
+	for i := 100; i < 110; i++ {
+		h.submit(1, payload(1, i), wire.ServiceAgreed)
+		h.submit(2, payload(2, i), wire.ServiceSafe)
+	}
+	h.run(200 * time.Millisecond)
+
+	h.restart(3)
+	h.waitConfig(10*time.Second, []wire.ParticipantID{1, 2, 3}, 1, 2, 3)
+	for i := 200; i < 210; i++ {
+		for id := wire.ParticipantID(1); id <= 3; id++ {
+			h.submit(id, payload(id, i), wire.ServiceAgreed)
+		}
+	}
+	h.run(2 * time.Second)
+
+	// The restarted incarnation must have delivered everything submitted
+	// after the rejoin, in the same order as the survivors.
+	n3 := h.node(3)
+	var tail []*wire.DataMessage
+	for _, m := range n3.appMsgs() {
+		tail = append(tail, m)
+	}
+	if len(tail) < 30 {
+		t.Fatalf("restarted node delivered %d messages, want at least the 30 post-rejoin ones", len(tail))
+	}
+	// Cross-node order is checked per configuration epoch by the EVS
+	// checker (prefix alignment from index 0 would be wrong across
+	// incarnations: the new incarnation's history starts at the rejoin).
+	h.checkEVSQuiescent()
+
+	// The archived first incarnation must be part of the checked log.
+	if len(n3.prior) != 1 || len(n3.prior[0]) == 0 {
+		t.Fatalf("first incarnation history not archived: %d prior logs", len(n3.prior))
+	}
+}
+
+// TestRestartAfterTotalSilence restarts a node that crashed before the
+// survivors noticed: the membership merge must still converge.
+func TestDoubleRestart(t *testing.T) {
+	h := newHarness(t, 3, accelConfig())
+	h.startStatic()
+	h.run(50 * time.Millisecond)
+
+	for round := 0; round < 2; round++ {
+		h.crash(2)
+		h.waitConfig(5*time.Second, []wire.ParticipantID{1, 3}, 1, 3)
+		h.restart(2)
+		h.waitConfig(10*time.Second, []wire.ParticipantID{1, 2, 3}, 1, 2, 3)
+	}
+	for i := 0; i < 5; i++ {
+		for id := wire.ParticipantID(1); id <= 3; id++ {
+			h.submit(id, payload(id, i), wire.ServiceAgreed)
+		}
+	}
+	h.run(1 * time.Second)
+	h.checkAllDelivered(15, 1, 2, 3)
+	h.checkEVSQuiescent()
+
+	if len(h.node(2).prior) != 2 {
+		t.Fatalf("node 2 should have 2 archived incarnations, has %d", len(h.node(2).prior))
+	}
+}

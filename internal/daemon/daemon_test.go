@@ -22,8 +22,14 @@ type cluster struct {
 
 func startDaemons(t *testing.T, n int) *cluster {
 	t.Helper()
+	return startDaemonsOn(t, n, accelring.NewMemoryNetwork(11))
+}
+
+// startDaemonsOn starts the cluster on a caller-prepared network, letting
+// fault-injection tests configure loss, duplication and reordering.
+func startDaemonsOn(t *testing.T, n int, net0 *accelring.MemoryNetwork) *cluster {
+	t.Helper()
 	dir := t.TempDir()
-	net0 := accelring.NewMemoryNetwork(11)
 	members := make([]accelring.ParticipantID, 0, n)
 	for i := 1; i <= n; i++ {
 		members = append(members, accelring.ParticipantID(i))

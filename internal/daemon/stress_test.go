@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
+	"accelring"
 	"accelring/internal/client"
+	"accelring/internal/evscheck"
 	"accelring/internal/wire"
 )
 
@@ -90,6 +93,95 @@ func TestManyClientsTotalOrder(t *testing.T) {
 			t.Fatalf("sender %s: message %d delivered after %d", sender, idx, last)
 		}
 		positions[sender] = idx
+	}
+}
+
+// TestFloodUnderNetworkFaults floods the full stack — daemons, IPC,
+// transport — while the in-memory network loses, duplicates and reorders
+// packets, then submits every client's delivery stream to the EVS
+// conformance checker: one total order, duplicate-free, per-sender FIFO.
+func TestFloodUnderNetworkFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const (
+		daemons       = 3
+		clientsPerD   = 2
+		perClientMsgs = 20
+	)
+	net0 := accelring.NewMemoryNetwork(777)
+	net0.SetLossRate(0.005)
+	net0.SetDupRate(0.02)
+	net0.SetReorder(0.02, 300*time.Microsecond)
+	c := startDaemonsOn(t, daemons, net0)
+
+	var conns []*client.Conn
+	for d := 0; d < daemons; d++ {
+		for i := 0; i < clientsPerD; i++ {
+			conn := c.connect(d, fmt.Sprintf("x%d", i))
+			if err := conn.Join("chaos"); err != nil {
+				t.Fatal(err)
+			}
+			conns = append(conns, conn)
+		}
+	}
+	total := daemons * clientsPerD
+	for _, conn := range conns {
+		waitView(t, conn, "chaos", total)
+	}
+	senderID := make(map[string]wire.ParticipantID, total)
+	for i, conn := range conns {
+		senderID[conn.PrivateName()] = wire.ParticipantID(i + 1)
+	}
+
+	var wg sync.WaitGroup
+	for _, conn := range conns {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClientMsgs; i++ {
+				payload := []byte(fmt.Sprintf("%s/%d", conn.PrivateName(), i))
+				if err := conn.Multicast(wire.ServiceAgreed, payload, "chaos"); err != nil {
+					t.Errorf("multicast: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	want := total * perClientMsgs
+	streams := make([][]client.Message, len(conns))
+	var collectWg sync.WaitGroup
+	for i, conn := range conns {
+		collectWg.Add(1)
+		go func() {
+			defer collectWg.Done()
+			streams[i] = collectMessages(t, conn, want)
+		}()
+	}
+	collectWg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// The client streams carry no configuration events (the view is per
+	// group, not per ring), so check them as one uniform configuration.
+	log := evscheck.Log{}
+	for i, stream := range streams {
+		nl := log.Node(fmt.Sprintf("client-%d", i))
+		for _, m := range stream {
+			var idx int
+			if _, err := fmt.Sscanf(string(m.Payload[len(m.Sender)+1:]), "%d", &idx); err != nil {
+				t.Fatalf("bad payload %q", m.Payload)
+			}
+			nl.Deliver(string(m.Payload), senderID[m.Sender], uint64(idx+1), wire.ServiceAgreed)
+		}
+	}
+	if vs := evscheck.CheckUniform(log, evscheck.Options{Quiescent: true}); len(vs) > 0 {
+		for _, v := range vs {
+			t.Errorf("EVS violation under faults: %v", v)
+		}
 	}
 }
 

@@ -1,0 +1,444 @@
+// Package evscheck verifies Extended Virtual Synchrony conformance over
+// the per-node delivery logs of a whole cluster run, independent of the
+// substrate that produced them: the virtual-time harness, the
+// discrete-event simulator, the in-memory daemon stack, or a live
+// deployment. Every chaos campaign ends with the same machine-checked
+// verdict.
+//
+// The checked axioms, per node and across nodes:
+//
+//  1. Configuration sequencing: messages are delivered only after a first
+//     regular configuration; at most one transitional configuration
+//     between regular ones.
+//  2. No duplicate delivery of a message at a node (within one
+//     incarnation; a restarted process is a new log).
+//  3. Agreement: nodes that install the same regular configuration
+//     deliver prefix-consistent message sequences within it, and nodes
+//     sharing the same transitional membership extend that consistency
+//     through the transitional configuration.
+//  4. Per-sender FIFO over each node's whole history.
+//  5. Virtual synchrony: nodes that move together from the same regular
+//     configuration to the same next regular configuration deliver the
+//     identical message sequence in between.
+//  6. Safe-delivery stability: a Safe message delivered in a regular
+//     configuration C must be delivered by every member of C that
+//     completed C (installed a later regular configuration, or — in a
+//     quiescent run — survived to the end of the log).
+package evscheck
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"accelring/internal/wire"
+)
+
+// Event is one entry of a node's history: a message delivery or a
+// configuration install.
+type Event struct {
+	// Config marks a configuration event; the delivery fields are then
+	// unused and vice versa.
+	Config bool
+
+	// Key identifies the message globally (e.g. its payload, or a
+	// sender/counter pair). Two deliveries with equal keys are deliveries
+	// of the same message.
+	Key string
+	// Sender is the message initiator; zero disables the FIFO check for
+	// this event.
+	Sender wire.ParticipantID
+	// SenderSeq is the sender-local submission counter; zero disables the
+	// FIFO check for this event. It must be strictly increasing per
+	// sender (gaps are fine: a submission may legitimately be lost with
+	// its crashed sender).
+	SenderSeq uint64
+	// Service is the delivery guarantee the message was sent with.
+	Service wire.Service
+
+	// Ring identifies the installed configuration.
+	Ring wire.RingID
+	// Members is the configuration's member set.
+	Members []wire.ParticipantID
+	// Transitional marks a transitional configuration.
+	Transitional bool
+}
+
+// NodeLog is one node incarnation's complete, ordered history.
+type NodeLog struct {
+	Events []Event
+	// Crashed marks an incarnation that was stopped mid-run (crash or
+	// shutdown): end-of-log completeness guarantees are waived for it.
+	Crashed bool
+}
+
+// Deliver appends a message delivery.
+func (nl *NodeLog) Deliver(key string, sender wire.ParticipantID, senderSeq uint64, svc wire.Service) {
+	nl.Events = append(nl.Events, Event{Key: key, Sender: sender, SenderSeq: senderSeq, Service: svc})
+}
+
+// Install appends a configuration event.
+func (nl *NodeLog) Install(ring wire.RingID, members []wire.ParticipantID, transitional bool) {
+	ms := make([]wire.ParticipantID, len(members))
+	copy(ms, members)
+	nl.Events = append(nl.Events, Event{Config: true, Ring: ring, Members: ms, Transitional: transitional})
+}
+
+// Log maps a node label (participant ID, plus an incarnation suffix after
+// a restart) to that incarnation's history.
+type Log map[string]*NodeLog
+
+// Node returns the named log, creating it if needed.
+func (l Log) Node(name string) *NodeLog {
+	nl, ok := l[name]
+	if !ok {
+		nl = &NodeLog{}
+		l[name] = nl
+	}
+	return nl
+}
+
+// Options tunes the strictness of Check.
+type Options struct {
+	// Quiescent asserts the run ended with no traffic in flight: every
+	// non-crashed node has delivered everything it ever will. Enables
+	// end-of-log completeness checks (final-epoch set equality and safe
+	// stability against nodes still in their final configuration).
+	Quiescent bool
+}
+
+// Violation is one detected axiom violation.
+type Violation struct {
+	// Axiom names the violated guarantee.
+	Axiom string
+	// Node is the offending node label (or "a|b" for pairwise axioms).
+	Node string
+	// Detail is a human-readable description.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("[%s] node %s: %s", v.Axiom, v.Node, v.Detail)
+}
+
+// segment is the stretch of one node's history within one regular
+// configuration: the deliveries in the regular part, then (optionally) a
+// transitional configuration and its deliveries.
+type segment struct {
+	ring    wire.RingID
+	members []wire.ParticipantID
+
+	regular []Event
+	// hasTrans marks that a transitional configuration was installed.
+	hasTrans     bool
+	transMembers []wire.ParticipantID
+	trans        []Event
+
+	// next is the ring installed after this segment, nil for the last
+	// segment of a log.
+	next *wire.RingID
+	last bool
+}
+
+// keys returns the keys of all deliveries in the segment, regular then
+// transitional.
+func (s *segment) keys() []string {
+	out := make([]string, 0, len(s.regular)+len(s.trans))
+	for _, e := range s.regular {
+		out = append(out, e.Key)
+	}
+	for _, e := range s.trans {
+		out = append(out, e.Key)
+	}
+	return out
+}
+
+// parse splits a node's history into segments, reporting per-node axiom
+// violations (sequencing, duplicates, FIFO) as it goes.
+func parse(name string, nl *NodeLog, report func(axiom, detail string)) []*segment {
+	var segs []*segment
+	var cur *segment
+	seen := make(map[string]bool)
+	lastSenderSeq := make(map[wire.ParticipantID]uint64)
+	for _, e := range nl.Events {
+		if e.Config {
+			if e.Transitional {
+				if cur == nil {
+					report("config-sequencing", "transitional configuration before any regular one")
+					continue
+				}
+				if cur.hasTrans {
+					report("config-sequencing", fmt.Sprintf(
+						"two transitional configurations after ring %v without a regular one", cur.ring))
+					continue
+				}
+				cur.hasTrans = true
+				cur.transMembers = e.Members
+				continue
+			}
+			if cur != nil {
+				id := e.Ring
+				cur.next = &id
+			}
+			cur = &segment{ring: e.Ring, members: e.Members}
+			segs = append(segs, cur)
+			continue
+		}
+		if cur == nil {
+			report("config-sequencing", fmt.Sprintf("delivery of %q before any configuration", e.Key))
+			continue
+		}
+		if seen[e.Key] {
+			report("no-duplicate", fmt.Sprintf("message %q delivered twice", e.Key))
+		}
+		seen[e.Key] = true
+		if e.Sender != 0 && e.SenderSeq != 0 {
+			if prev, ok := lastSenderSeq[e.Sender]; ok && e.SenderSeq <= prev {
+				report("fifo", fmt.Sprintf("sender %s: seq %d delivered after %d",
+					e.Sender, e.SenderSeq, prev))
+			}
+			lastSenderSeq[e.Sender] = e.SenderSeq
+		}
+		if cur.hasTrans {
+			cur.trans = append(cur.trans, e)
+		} else {
+			cur.regular = append(cur.regular, e)
+		}
+	}
+	if cur != nil {
+		cur.last = true
+	}
+	return segs
+}
+
+// Check verifies the EVS axioms over the whole cluster's logs and returns
+// every violation found, in a deterministic order. An empty result is a
+// clean verdict.
+func Check(l Log, opt Options) []Violation {
+	var vs []Violation
+	names := make([]string, 0, len(l))
+	for name := range l {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	segsOf := make(map[string][]*segment, len(l))
+	for _, name := range names {
+		n := name
+		segsOf[n] = parse(n, l[n], func(axiom, detail string) {
+			vs = append(vs, Violation{Axiom: axiom, Node: n, Detail: detail})
+		})
+	}
+
+	for i, a := range names {
+		for _, b := range names[i+1:] {
+			vs = append(vs, checkPair(a, b, segsOf[a], segsOf[b], l[a], l[b], opt)...)
+		}
+	}
+	vs = append(vs, checkSafeStability(names, segsOf, l, opt)...)
+	return vs
+}
+
+// checkPair applies the pairwise axioms (agreement, virtual synchrony,
+// quiescent completeness) to two nodes' segment lists.
+func checkPair(a, b string, sa, sb []*segment, la, lb *NodeLog, opt Options) []Violation {
+	var vs []Violation
+	pair := a + "|" + b
+	for _, ea := range sa {
+		for _, eb := range sb {
+			if ea.ring != eb.ring {
+				continue
+			}
+			// Agreement: prefix consistency of the regular parts.
+			if v, ok := firstDivergence(ea.regular, eb.regular); !ok {
+				vs = append(vs, Violation{Axiom: "agreement", Node: pair, Detail: fmt.Sprintf(
+					"ring %v: regular deliveries diverge at %d: %q vs %q",
+					ea.ring, v, keyAt(ea.regular, v), keyAt(eb.regular, v))})
+			} else if ea.hasTrans && eb.hasTrans && idSetEqual(ea.transMembers, eb.transMembers) {
+				// Same transitional membership: consistency extends
+				// through the transitional configuration.
+				if v, ok := firstDivergence(concat(ea), concat(eb)); !ok {
+					vs = append(vs, Violation{Axiom: "agreement", Node: pair, Detail: fmt.Sprintf(
+						"ring %v (transitional): deliveries diverge at %d: %q vs %q",
+						ea.ring, v, keyAt(concat(ea), v), keyAt(concat(eb), v))})
+				}
+			}
+			// Virtual synchrony: both moved to the same next regular
+			// configuration — identical sequences in between.
+			if ea.next != nil && eb.next != nil && *ea.next == *eb.next {
+				if !sliceEqual(ea.keys(), eb.keys()) {
+					vs = append(vs, Violation{Axiom: "virtual-synchrony", Node: pair, Detail: fmt.Sprintf(
+						"ring %v → %v: delivered %d vs %d messages or different sequences",
+						ea.ring, *ea.next, len(ea.keys()), len(eb.keys()))})
+				}
+			}
+			// Quiescent completeness: both ended the run in this
+			// configuration with nothing in flight — identical sequences.
+			if opt.Quiescent && ea.last && eb.last && !la.Crashed && !lb.Crashed {
+				if !sliceEqual(ea.keys(), eb.keys()) {
+					vs = append(vs, Violation{Axiom: "completeness", Node: pair, Detail: fmt.Sprintf(
+						"final ring %v: delivered %d vs %d messages or different sequences",
+						ea.ring, len(ea.keys()), len(eb.keys()))})
+				}
+			}
+		}
+	}
+	return vs
+}
+
+// checkSafeStability verifies axiom 6: Safe messages delivered in a
+// regular configuration reached every member that completed it.
+func checkSafeStability(names []string, segsOf map[string][]*segment, l Log, opt Options) []Violation {
+	var vs []Violation
+	for _, a := range names {
+		for _, sa := range segsOf[a] {
+			for _, e := range sa.regular {
+				if !e.Service.RequiresSafe() {
+					continue
+				}
+				for _, b := range names {
+					if b == a {
+						continue
+					}
+					for _, sb := range segsOf[b] {
+						if sb.ring != sa.ring {
+							continue
+						}
+						completed := sb.next != nil ||
+							(opt.Quiescent && sb.last && !l[b].Crashed)
+						if !completed {
+							continue
+						}
+						if !containsKey(sb, e.Key) {
+							vs = append(vs, Violation{Axiom: "safe-stability", Node: b, Detail: fmt.Sprintf(
+								"ring %v: safe message %q delivered by %s but missing at %s, which completed the configuration",
+								sa.ring, e.Key, a, b)})
+						}
+					}
+				}
+			}
+		}
+	}
+	return vs
+}
+
+// CheckUniform checks logs from a run with a single, never-changing
+// configuration whose install events were not captured (e.g. client-side
+// delivery streams): it prepends a synthetic shared regular configuration
+// to every log and runs Check.
+func CheckUniform(l Log, opt Options) []Violation {
+	synthetic := Log{}
+	ring := wire.RingID{Rep: 0, Seq: 1}
+	for name, nl := range l {
+		cp := &NodeLog{Crashed: nl.Crashed, Events: make([]Event, 0, len(nl.Events)+1)}
+		cp.Events = append(cp.Events, Event{Config: true, Ring: ring})
+		cp.Events = append(cp.Events, nl.Events...)
+		synthetic[name] = cp
+	}
+	return Check(synthetic, opt)
+}
+
+// Digest returns a hex digest of the log's canonical serialization. Two
+// runs with identical histories (same nodes, same events, same order)
+// have equal digests — the chaos tests use this to prove a seed replays
+// the identical event trace.
+func Digest(l Log) string {
+	names := make([]string, 0, len(l))
+	for name := range l {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, name := range names {
+		nl := l[name]
+		fmt.Fprintf(h, "node %s crashed=%v\n", name, nl.Crashed)
+		for _, e := range nl.Events {
+			if e.Config {
+				ms := make([]string, len(e.Members))
+				for i, m := range e.Members {
+					ms[i] = m.String()
+				}
+				fmt.Fprintf(h, "C %v trans=%v members=%s\n", e.Ring, e.Transitional, strings.Join(ms, ","))
+			} else {
+				fmt.Fprintf(h, "D %q %d %d %d\n", e.Key, e.Sender, e.SenderSeq, e.Service)
+			}
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// firstDivergence compares the Keys of two event sequences up to the
+// shorter length; it returns (index, false) at the first mismatch and
+// (0, true) if they are prefix-consistent.
+func firstDivergence(a, b []Event) (int, bool) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i].Key != b[i].Key {
+			return i, false
+		}
+	}
+	return 0, true
+}
+
+func keyAt(evs []Event, i int) string {
+	if i < len(evs) {
+		return evs[i].Key
+	}
+	return "<none>"
+}
+
+func concat(s *segment) []Event {
+	out := make([]Event, 0, len(s.regular)+len(s.trans))
+	out = append(out, s.regular...)
+	out = append(out, s.trans...)
+	return out
+}
+
+func containsKey(s *segment, key string) bool {
+	for _, e := range s.regular {
+		if e.Key == key {
+			return true
+		}
+	}
+	for _, e := range s.trans {
+		if e.Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+func sliceEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// idSetEqual compares two member lists as sets.
+func idSetEqual(a, b []wire.ParticipantID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[wire.ParticipantID]bool, len(a))
+	for _, id := range a {
+		set[id] = true
+	}
+	for _, id := range b {
+		if !set[id] {
+			return false
+		}
+	}
+	return true
+}

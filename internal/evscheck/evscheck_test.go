@@ -1,0 +1,179 @@
+package evscheck
+
+import (
+	"strings"
+	"testing"
+
+	"accelring/internal/wire"
+)
+
+// baseLog builds a clean three-node history: all deliver m1..m4 in ring
+// C1, node 3 crashes, nodes 1 and 2 move through a transitional
+// configuration into ring C2 and deliver m5.
+func baseLog() Log {
+	c1 := wire.RingID{Rep: 1, Seq: 4}
+	c2 := wire.RingID{Rep: 1, Seq: 8}
+	all := []wire.ParticipantID{1, 2, 3}
+	survivors := []wire.ParticipantID{1, 2}
+
+	l := Log{}
+	for _, name := range []string{"1", "2", "3"} {
+		nl := l.Node(name)
+		nl.Install(c1, all, false)
+		nl.Deliver("m1", 1, 1, wire.ServiceAgreed)
+		nl.Deliver("m2", 2, 1, wire.ServiceAgreed)
+		nl.Deliver("m3", 1, 2, wire.ServiceSafe)
+		nl.Deliver("m4", 3, 1, wire.ServiceAgreed)
+	}
+	l["3"].Crashed = true
+	for _, name := range []string{"1", "2"} {
+		nl := l[name]
+		nl.Install(c1, survivors, true)
+		nl.Deliver("m4b", 2, 2, wire.ServiceAgreed)
+		nl.Install(c2, survivors, false)
+		nl.Deliver("m5", 1, 3, wire.ServiceAgreed)
+	}
+	return l
+}
+
+func expectViolation(t *testing.T, vs []Violation, axiom string) {
+	t.Helper()
+	for _, v := range vs {
+		if v.Axiom == axiom {
+			return
+		}
+	}
+	t.Fatalf("expected a %q violation, got %v", axiom, vs)
+}
+
+func TestCleanLogPasses(t *testing.T) {
+	if vs := Check(baseLog(), Options{Quiescent: true}); len(vs) != 0 {
+		t.Fatalf("clean log flagged: %v", vs)
+	}
+}
+
+func TestSwappedAgreedPairDetected(t *testing.T) {
+	// The mutation self-test of the acceptance criteria: one deliberately
+	// swapped pair of agreed messages at one node must be a violation.
+	l := baseLog()
+	evs := l["2"].Events
+	evs[1], evs[2] = evs[2], evs[1] // swap m1 and m2 at node 2
+	expectViolation(t, Check(l, Options{}), "agreement")
+}
+
+func TestViolatedSafeDeliveryBoundDetected(t *testing.T) {
+	// m3 is Safe and node 2 completed C1 (it installed C2), so omitting
+	// m3 from node 2's history violates safe-delivery stability.
+	l := baseLog()
+	nl := l["2"]
+	var kept []Event
+	for _, e := range nl.Events {
+		if e.Key == "m3" {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	nl.Events = kept
+	expectViolation(t, Check(l, Options{}), "safe-stability")
+}
+
+func TestDuplicateDeliveryDetected(t *testing.T) {
+	l := baseLog()
+	l["1"].Deliver("m5", 1, 3, wire.ServiceAgreed) // second delivery of m5
+	expectViolation(t, Check(l, Options{}), "no-duplicate")
+}
+
+func TestFIFOViolationDetected(t *testing.T) {
+	l := baseLog()
+	// Sender 1's counter goes 1,2,3 at node 1; append a stale 2.
+	l["1"].Deliver("m6", 1, 2, wire.ServiceAgreed)
+	expectViolation(t, Check(l, Options{}), "fifo")
+}
+
+func TestVirtualSynchronyViolationDetected(t *testing.T) {
+	// Nodes 1 and 2 both move C1 → C2, so their C1 histories must be
+	// identical; dropping node 2's last transitional delivery (m4b) is a
+	// virtual-synchrony violation even though prefixes stay consistent.
+	l := baseLog()
+	nl := l["2"]
+	var kept []Event
+	for _, e := range nl.Events {
+		if e.Key == "m4b" {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	nl.Events = kept
+	expectViolation(t, Check(l, Options{}), "virtual-synchrony")
+}
+
+func TestQuiescentCompletenessDetected(t *testing.T) {
+	// Node 2 never delivers m5 but shares node 1's final configuration: a
+	// quiescent run must flag the missing tail, a non-quiescent run must
+	// tolerate it (m5 could still be in flight).
+	l := baseLog()
+	nl := l["2"]
+	nl.Events = nl.Events[:len(nl.Events)-1]
+	if vs := Check(l, Options{}); len(vs) != 0 {
+		t.Fatalf("in-flight tail flagged without Quiescent: %v", vs)
+	}
+	expectViolation(t, Check(l, Options{Quiescent: true}), "completeness")
+}
+
+func TestCrashWaivesEndOfLogGuarantees(t *testing.T) {
+	// Node 3 is crashed: its shorter history must not trip completeness
+	// or safe-stability even in a quiescent run.
+	l := baseLog()
+	if vs := Check(l, Options{Quiescent: true}); len(vs) != 0 {
+		t.Fatalf("crashed node flagged: %v", vs)
+	}
+}
+
+func TestDeliveryBeforeConfigDetected(t *testing.T) {
+	l := Log{}
+	l.Node("1").Deliver("m1", 1, 1, wire.ServiceAgreed)
+	expectViolation(t, Check(l, Options{}), "config-sequencing")
+}
+
+func TestTwoTransitionalsDetected(t *testing.T) {
+	l := Log{}
+	nl := l.Node("1")
+	ring := wire.RingID{Rep: 1, Seq: 4}
+	nl.Install(ring, []wire.ParticipantID{1, 2}, false)
+	nl.Install(ring, []wire.ParticipantID{1}, true)
+	nl.Install(ring, []wire.ParticipantID{1}, true)
+	expectViolation(t, Check(l, Options{}), "config-sequencing")
+}
+
+func TestCheckUniform(t *testing.T) {
+	l := Log{}
+	for _, name := range []string{"a", "b"} {
+		nl := l.Node(name)
+		nl.Deliver("x", 1, 1, wire.ServiceAgreed)
+		nl.Deliver("y", 2, 1, wire.ServiceAgreed)
+	}
+	if vs := CheckUniform(l, Options{Quiescent: true}); len(vs) != 0 {
+		t.Fatalf("clean uniform log flagged: %v", vs)
+	}
+	evs := l["b"].Events
+	evs[0], evs[1] = evs[1], evs[0]
+	expectViolation(t, CheckUniform(l, Options{}), "agreement")
+}
+
+func TestDigestDetectsTraceDifferences(t *testing.T) {
+	a, b := baseLog(), baseLog()
+	if Digest(a) != Digest(b) {
+		t.Fatal("identical logs digest differently")
+	}
+	b["1"].Deliver("extra", 2, 9, wire.ServiceAgreed)
+	if Digest(a) == Digest(b) {
+		t.Fatal("different logs digest equal")
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Axiom: "agreement", Node: "1|2", Detail: "diverge"}
+	if s := v.String(); !strings.Contains(s, "agreement") || !strings.Contains(s, "1|2") {
+		t.Fatalf("uninformative violation string %q", s)
+	}
+}

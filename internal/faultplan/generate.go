@@ -1,0 +1,114 @@
+package faultplan
+
+import (
+	"math/rand"
+	"time"
+
+	"accelring/internal/wire"
+)
+
+// Class selects fault classes for the campaign generator.
+type Class uint8
+
+// Fault classes.
+const (
+	ClassLoss Class = 1 << iota
+	ClassDup
+	ClassDelay
+	ClassPartition
+	ClassCrash
+
+	// ClassLink is every link-level fault class.
+	ClassLink = ClassLoss | ClassDup | ClassDelay
+	// ClassAll is every fault class.
+	ClassAll = ClassLink | ClassPartition | ClassCrash
+)
+
+// Generate draws a random fault plan from the seed: a campaign of link
+// fault bursts and node events over [0, dur), for a cluster of nodes with
+// IDs 1..nodes. Every fault ends before dur — loss windows close,
+// partitions heal, crashed nodes restart — so a run that continues past
+// dur converges and can be checked for conformance. The same seed always
+// yields the same plan. Degenerate inputs (nodes < 1, dur too short to
+// hold a fault window, or a partition of a single node) yield an empty or
+// reduced plan rather than panicking.
+func Generate(seed int64, nodes int, dur time.Duration, classes Class) Plan {
+	p := Plan{Seed: seed}
+	if nodes < 1 || dur < 10*time.Nanosecond {
+		return p
+	}
+	if nodes < 2 {
+		classes &^= ClassPartition
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ids := make([]wire.ParticipantID, nodes)
+	for i := range ids {
+		ids[i] = wire.ParticipantID(i + 1)
+	}
+	window := func() (time.Duration, time.Duration) {
+		start := time.Duration(rng.Int63n(int64(dur / 2)))
+		end := start + time.Duration(rng.Int63n(int64(dur/2))) + dur/10
+		if end > dur {
+			end = dur
+		}
+		return start, end
+	}
+
+	if classes&ClassLoss != 0 {
+		// One global background loss window plus 0-2 heavier bursts on
+		// single links (token loss on a specific hop stresses
+		// retransmission and membership timeouts).
+		start, end := window()
+		p.Links = append(p.Links, LinkFault{Start: start, End: end,
+			Loss: 0.01 + rng.Float64()*0.04})
+		for i, n := 0, rng.Intn(3); i < n; i++ {
+			start, end := window()
+			p.Links = append(p.Links, LinkFault{
+				From:  ids[rng.Intn(nodes)],
+				Start: start, End: end,
+				Loss: 0.05 + rng.Float64()*0.15,
+			})
+		}
+	}
+	if classes&ClassDup != 0 && rng.Intn(2) == 0 {
+		start, end := window()
+		p.Links = append(p.Links, LinkFault{Start: start, End: end,
+			Dup: 0.02 + rng.Float64()*0.08})
+	}
+	if classes&ClassDelay != 0 && rng.Intn(2) == 0 {
+		start, end := window()
+		p.Links = append(p.Links, LinkFault{Start: start, End: end,
+			DelayProb: 0.05 + rng.Float64()*0.15,
+			Delay:     time.Duration(rng.Int63n(int64(2 * time.Millisecond)))})
+	}
+	if classes&ClassPartition != 0 && rng.Intn(2) == 0 {
+		// Split a random minority into group 1 for a stretch, then heal.
+		at := time.Duration(rng.Int63n(int64(dur / 2)))
+		heal := at + dur/4 + time.Duration(rng.Int63n(int64(dur/4)))
+		if heal >= dur {
+			heal = dur - 1
+		}
+		moved := 1 + rng.Intn(nodes/2)
+		perm := rng.Perm(nodes)
+		for i := 0; i < moved; i++ {
+			p.Events = append(p.Events, NodeEvent{At: at, Kind: EventPartition,
+				Node: ids[perm[i]], Group: 1})
+		}
+		p.Events = append(p.Events, NodeEvent{At: heal, Kind: EventHeal})
+	}
+	if classes&ClassCrash != 0 && rng.Intn(2) == 0 {
+		// Crash one node and restart it later; keeping a majority of the
+		// cluster alive is not required (EVS tolerates any partition), but
+		// a single crash keeps campaigns short.
+		at := time.Duration(rng.Int63n(int64(dur / 2)))
+		back := at + dur/4 + time.Duration(rng.Int63n(int64(dur/4)))
+		if back >= dur {
+			back = dur - 1
+		}
+		node := ids[rng.Intn(nodes)]
+		p.Events = append(p.Events,
+			NodeEvent{At: at, Kind: EventCrash, Node: node},
+			NodeEvent{At: back, Kind: EventRestart, Node: node})
+	}
+	return p
+}

@@ -1,0 +1,121 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"accelring/internal/core"
+	"accelring/internal/evscheck"
+	"accelring/internal/faultplan"
+)
+
+// lossyPlan injects a steady mix of loss, duplication and reordering delay
+// on every link for the whole run.
+func lossyPlan(seed int64) *faultplan.Plan {
+	return &faultplan.Plan{
+		Seed: seed,
+		Links: []faultplan.LinkFault{{
+			Loss:      0.02,
+			Dup:       0.01,
+			DelayProb: 0.02,
+			Delay:     200 * time.Microsecond,
+		}},
+	}
+}
+
+func TestLossyRunRecoversAndConforms(t *testing.T) {
+	cfg := quickCfg(core.ProtocolAcceleratedRing, Net1G, ProfileLibrary, 200)
+	cfg.Faults = lossyPlan(42)
+	cfg.Capture = true
+	res, log, err := RunCapture(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultDrops == 0 {
+		t.Fatal("fault plan injected no drops")
+	}
+	if res.FaultDups == 0 {
+		t.Fatal("fault plan injected no duplicates")
+	}
+	if res.Retransmits == 0 {
+		t.Fatal("packet loss should force retransmissions")
+	}
+	if res.Samples == 0 {
+		t.Fatal("no deliveries completed under loss")
+	}
+	// The run is cut off mid-flight (tokens circulate forever), so tails
+	// may be incomplete; every delivered prefix must still conform.
+	if vs := evscheck.Check(log, evscheck.Options{}); len(vs) > 0 {
+		for _, v := range vs {
+			t.Errorf("EVS violation: %v", v)
+		}
+	}
+	if len(log) != cfg.Nodes {
+		t.Fatalf("captured %d node logs, want %d", len(log), cfg.Nodes)
+	}
+}
+
+func TestLossyRunIsDeterministic(t *testing.T) {
+	run := func() (Result, string) {
+		cfg := quickCfg(core.ProtocolAcceleratedRing, Net1G, ProfileLibrary, 150)
+		cfg.Faults = lossyPlan(7)
+		cfg.Capture = true
+		res, log, err := RunCapture(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, evscheck.Digest(log)
+	}
+	resA, digA := run()
+	resB, digB := run()
+	if resA != resB {
+		t.Fatalf("two identical lossy runs disagree:\n%v\n%v", resA, resB)
+	}
+	if digA != digB {
+		t.Fatalf("two identical lossy runs delivered different traces:\n%s\n%s", digA, digB)
+	}
+}
+
+func TestCrashPlanRejected(t *testing.T) {
+	cfg := quickCfg(core.ProtocolAcceleratedRing, Net1G, ProfileLibrary, 100)
+	cfg.Faults = &faultplan.Plan{Events: []faultplan.NodeEvent{
+		{At: time.Millisecond, Kind: faultplan.EventCrash, Node: 1},
+	}}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("crash events must be rejected by the simulator")
+	}
+}
+
+func TestCaptureRequiresRoomForTag(t *testing.T) {
+	cfg := quickCfg(core.ProtocolAcceleratedRing, Net1G, ProfileLibrary, 100)
+	cfg.PayloadSize = 12
+	cfg.Capture = true
+	if _, _, err := RunCapture(cfg); err == nil {
+		t.Fatal("capture with a 12-byte payload must be rejected")
+	}
+}
+
+// TestCapturedCleanRunQuiescent verifies the capture path itself: a clean
+// captured run must conform and deliver every submission at every node.
+func TestCapturedCleanRunQuiescent(t *testing.T) {
+	cfg := quickCfg(core.ProtocolAcceleratedRing, Net1G, ProfileLibrary, 100)
+	cfg.Capture = true
+	res, log, err := RunCapture(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples == 0 {
+		t.Fatal("no deliveries captured")
+	}
+	if vs := evscheck.Check(log, evscheck.Options{}); len(vs) > 0 {
+		for _, v := range vs {
+			t.Errorf("EVS violation: %v", v)
+		}
+	}
+	// Every node must have logged the initial configuration.
+	for name, nl := range log {
+		if len(nl.Events) == 0 || !nl.Events[0].Config {
+			t.Fatalf("node %s log does not start with a configuration", name)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"encoding/binary"
+	"strconv"
 	"time"
 
 	"accelring/internal/core"
@@ -37,6 +38,8 @@ type simNode struct {
 	submitQ     []time.Duration // client submit times awaiting daemon pickup
 
 	nicFree time.Duration
+
+	sendSeq uint32 // per-node submission counter for captured runs
 
 	timers map[core.TimerKind]time.Duration
 }
@@ -174,11 +177,22 @@ func (n *simNode) processSubmissions(prof *Profile, limit int) {
 		clientTime := n.submitQ[0]
 		n.submitQ = n.submitQ[1:]
 		n.cpuFree += prof.SubmitCost
-		payload := make([]byte, 8)
+		size := 8
+		if n.sim.capture != nil {
+			size = 16
+		}
+		payload := make([]byte, size)
 		binary.BigEndian.PutUint64(payload, uint64(clientTime))
+		if n.sim.capture != nil {
+			// Captured runs also tag the payload with (sender, sequence) so
+			// the conformance checker can key deliveries and check FIFO.
+			n.sendSeq++
+			binary.BigEndian.PutUint32(payload[8:12], uint32(n.idx+1))
+			binary.BigEndian.PutUint32(payload[12:16], n.sendSeq)
+		}
 		// The engine never inspects payloads; the simulator models the
 		// configured payload size on the wire while carrying only the
-		// 8-byte submit timestamp in memory.
+		// submit timestamp (and capture tag) in memory.
 		if err := n.eng.Submit(payload, n.sim.cfg.Service); err != nil {
 			// The backlog cap is sized so this cannot happen in a valid
 			// experiment; losing the message only lowers achieved
@@ -216,8 +230,13 @@ func (n *simNode) execute(actions []core.Action) {
 		case core.Deliver:
 			n.cpuFree += prof.DeliverCost + perKB(prof.DeliverPerKB, n.sim.cfg.PayloadSize)
 			n.recordDelivery(act.Msg)
+			n.captureDelivery(act.Msg)
 		case core.DeliverConfig:
-			// Configuration events are not measured.
+			// Configuration events are not measured, but captured runs log
+			// them so the conformance checker can segment delivery epochs.
+			if n.sim.capture != nil {
+				n.sim.capture.Node(n.logName()).Install(act.Config.ID, act.Config.Members, act.Transitional)
+			}
 		case core.SetTimer:
 			n.setTimer(act.Kind, act.After)
 		case core.CancelTimer:
@@ -255,6 +274,21 @@ func (n *simNode) transmit(p packet, dst int) {
 			continue
 		}
 		target := n.sim.nodes[i]
+		if f := n.sim.fault; f != nil {
+			// The injected fault acts on the wire between switch and
+			// destination NIC: loss discards the copy after it consumed
+			// port bandwidth; duplication and delay add delivery events.
+			v := f.Decide(txEnd, wire.ParticipantID(n.idx+1), wire.ParticipantID(i+1), p.kind)
+			if v.Drop {
+				n.sim.faultDrops++
+				continue
+			}
+			arrive += v.Delay
+			if v.Dup {
+				n.sim.faultDups++
+				n.sim.schedule(arrive, func() { target.receive(p) })
+			}
+		}
 		n.sim.schedule(arrive, func() { target.receive(p) })
 	}
 }
@@ -275,6 +309,23 @@ func (n *simNode) recordDelivery(m *wire.DataMessage) {
 	if n.idx == 0 {
 		n.sim.delivered++
 	}
+}
+
+// logName is the node's name in the captured delivery log.
+func (n *simNode) logName() string {
+	return strconv.Itoa(n.idx + 1)
+}
+
+// captureDelivery appends the delivery to the run's conformance log, keyed
+// by the (sender, sequence) tag embedded in captured payloads.
+func (n *simNode) captureDelivery(m *wire.DataMessage) {
+	if n.sim.capture == nil || len(m.Payload) < 16 {
+		return
+	}
+	sender := binary.BigEndian.Uint32(m.Payload[8:12])
+	seq := binary.BigEndian.Uint32(m.Payload[12:16])
+	key := strconv.Itoa(int(sender)) + "-" + strconv.Itoa(int(seq))
+	n.sim.capture.Node(n.logName()).Deliver(key, wire.ParticipantID(sender), uint64(seq), m.Service)
 }
 
 // perKB scales a per-kilobyte cost to the given byte count.

@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"accelring/internal/core"
+	"accelring/internal/evscheck"
+	"accelring/internal/faultplan"
 	"accelring/internal/stats"
 	"accelring/internal/wire"
 )
@@ -40,6 +42,14 @@ type Config struct {
 	Arrivals Arrivals
 	// Seed drives the Poisson arrival process (ignored for CBR).
 	Seed int64
+	// Faults optionally injects link faults (loss, duplication, delay) and
+	// partitions per the plan. Crash/restart events are not supported by
+	// the simulator (its nodes have no rejoin path) and are rejected.
+	Faults *faultplan.Plan
+	// Capture records every delivery and configuration change into an
+	// evscheck.Log so the run's total-order guarantees can be verified.
+	// Captured runs embed a sender/sequence tag in each payload.
+	Capture bool
 }
 
 // Arrivals selects the workload's arrival process.
@@ -103,6 +113,9 @@ type Result struct {
 	// saturated ring leaves a large backlog.
 	Submitted   uint64
 	BacklogLeft int
+	// FaultDrops/FaultDups count injected packet faults (Config.Faults).
+	FaultDrops uint64
+	FaultDups  uint64
 }
 
 // String renders the result as one table row.
@@ -156,6 +169,11 @@ type Sim struct {
 	switchDrops uint64
 	sockDrops   uint64
 
+	fault      *faultplan.Injector
+	faultDrops uint64
+	faultDups  uint64
+	capture    evscheck.Log // nil unless Config.Capture
+
 	measureFrom time.Duration
 	measureTo   time.Duration
 }
@@ -170,10 +188,27 @@ var errBadConfig = errors.New("netsim: invalid configuration")
 
 // Run executes one experiment and returns its result.
 func Run(cfg Config) (Result, error) {
+	res, _, err := RunCapture(cfg)
+	return res, err
+}
+
+// RunCapture executes one experiment and additionally returns the captured
+// delivery log (nil unless cfg.Capture), suitable for evscheck.Check.
+func RunCapture(cfg Config) (Result, evscheck.Log, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Nodes <= 0 || cfg.PayloadSize <= 8 || cfg.OfferedMbps <= 0 {
-		return Result{}, fmt.Errorf("%w: nodes %d payload %d offered %.1f",
+		return Result{}, nil, fmt.Errorf("%w: nodes %d payload %d offered %.1f",
 			errBadConfig, cfg.Nodes, cfg.PayloadSize, cfg.OfferedMbps)
+	}
+	if cfg.Capture && cfg.PayloadSize < 16 {
+		return Result{}, nil, fmt.Errorf("%w: capture needs PayloadSize >= 16", errBadConfig)
+	}
+	if cfg.Faults != nil {
+		for _, ev := range cfg.Faults.Events {
+			if ev.Kind == faultplan.EventCrash || ev.Kind == faultplan.EventRestart {
+				return Result{}, nil, fmt.Errorf("%w: simulator does not support %v events", errBadConfig, ev.Kind)
+			}
+		}
 	}
 	s := &Sim{
 		cfg:         cfg,
@@ -181,6 +216,12 @@ func Run(cfg Config) (Result, error) {
 		ports:       make([]swPort, cfg.Nodes),
 		measureFrom: cfg.Warmup,
 		measureTo:   cfg.Warmup + cfg.Measure,
+	}
+	if cfg.Faults != nil {
+		s.fault = cfg.Faults.Injector()
+	}
+	if cfg.Capture {
+		s.capture = evscheck.Log{}
 	}
 
 	members := make([]wire.ParticipantID, cfg.Nodes)
@@ -192,14 +233,14 @@ func Run(cfg Config) (Result, error) {
 		ecfg.MyID = members[i]
 		eng, err := core.New(ecfg)
 		if err != nil {
-			return Result{}, fmt.Errorf("netsim: %w", err)
+			return Result{}, nil, fmt.Errorf("netsim: %w", err)
 		}
 		s.nodes[i] = newSimNode(s, eng)
 	}
 	for _, n := range s.nodes {
 		actions, err := n.eng.StartWithRing(members)
 		if err != nil {
-			return Result{}, fmt.Errorf("netsim: %w", err)
+			return Result{}, nil, fmt.Errorf("netsim: %w", err)
 		}
 		n.execute(actions)
 	}
@@ -232,6 +273,8 @@ func Run(cfg Config) (Result, error) {
 		(cfg.Measure.Seconds() * 1e6)
 	res.Stable = res.AchievedMbps >= 0.97*cfg.OfferedMbps
 	res.Submitted = s.submitted
+	res.FaultDrops = s.faultDrops
+	res.FaultDups = s.faultDups
 	for _, n := range s.nodes {
 		st := n.eng.Stats()
 		res.TokensHandled += st.TokensProcessed
@@ -239,7 +282,7 @@ func Run(cfg Config) (Result, error) {
 		res.PostTokenMsgs += st.MsgsPostToken
 		res.BacklogLeft += n.eng.PendingLen()
 	}
-	return res, nil
+	return res, s.capture, nil
 }
 
 func (s *Sim) schedule(at time.Duration, fn func()) {

@@ -1,8 +1,15 @@
 // Package memnet is an in-memory transport for tests and in-process
 // clusters: a hub connects participant endpoints, replicating multicasts
 // and routing unicasts over buffered channels, with a configurable per-hop
-// latency and optional fault injection (packet loss and network
-// partitions).
+// latency and optional fault injection (packet loss, duplication,
+// reordering delay, network partitions, and declarative faultplan
+// programs).
+//
+// Every probabilistic fault decision is drawn from the hub's single seeded
+// generator, serialized under one lock and — for multicast — applied to
+// destinations in ascending participant order, so a fixed packet sequence
+// from one goroutine hits the identical fault sequence on every run with
+// the same seed.
 //
 // The latency matters beyond realism: a token ring with zero network
 // latency spins at memory speed, wasting CPU on millions of idle token
@@ -10,10 +17,13 @@
 package memnet
 
 import (
+	"container/heap"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
+	"accelring/internal/faultplan"
 	"accelring/internal/transport"
 	"accelring/internal/wire"
 )
@@ -30,10 +40,16 @@ const DefaultLatency = 100 * time.Microsecond
 type Hub struct {
 	latency time.Duration
 
-	mu        sync.RWMutex
-	endpoints map[wire.ParticipantID]*Endpoint
-	partition map[wire.ParticipantID]int
-	lossRate  float64
+	mu           sync.RWMutex
+	endpoints    map[wire.ParticipantID]*Endpoint
+	partition    map[wire.ParticipantID]int
+	lossRate     float64
+	dupRate      float64
+	reorderProb  float64
+	reorderExtra time.Duration
+	fault        *faultplan.Injector
+	faultEpoch   time.Time
+	healTimer    *time.Timer
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -67,6 +83,25 @@ func (h *Hub) SetLossRate(p float64) {
 	h.lossRate = p
 }
 
+// SetDupRate makes the hub deliver each packet twice independently with
+// probability p (0 ≤ p < 1). Duplicates exercise the protocol's duplicate
+// suppression.
+func (h *Hub) SetDupRate(p float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.dupRate = p
+}
+
+// SetReorder makes the hub delay each packet independently with
+// probability p by an extra duration, letting later packets overtake it —
+// the UDP reordering the real networks exhibit under load.
+func (h *Hub) SetReorder(p float64, extra time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.reorderProb = p
+	h.reorderExtra = extra
+}
+
 // SetPartition assigns a participant to a partition group; traffic only
 // flows between participants in the same group. All participants start in
 // group 0.
@@ -81,6 +116,35 @@ func (h *Hub) Heal() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.partition = make(map[wire.ParticipantID]int)
+}
+
+// ScheduleHeal arranges for Heal to run after the given duration,
+// replacing any previously scheduled heal. It lets a test script a
+// partition window without running its own timer goroutine.
+func (h *Hub) ScheduleHeal(after time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.healTimer != nil {
+		h.healTimer.Stop()
+	}
+	h.healTimer = time.AfterFunc(after, h.Heal)
+}
+
+// ApplyFaults evaluates a declarative fault plan on every subsequent
+// packet, in addition to the hub's own loss/dup/reorder rates. Plan time
+// zero is the moment of this call. Partition and heal events inside the
+// plan are honored by the plan's injector; crash and restart events are
+// ignored (the hub cannot stop a process — that is the caller's job). A
+// nil plan clears fault-plan evaluation.
+func (h *Hub) ApplyFaults(plan *faultplan.Plan) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if plan == nil {
+		h.fault = nil
+		return
+	}
+	h.fault = plan.Injector()
+	h.faultEpoch = time.Now()
 }
 
 // Join creates and registers an endpoint for a participant. Joining an ID
@@ -118,20 +182,88 @@ func (h *Hub) remove(ep *Endpoint) {
 	}
 }
 
-// drop decides whether to lose a packet.
-func (h *Hub) drop(lossRate float64) bool {
-	if lossRate <= 0 {
-		return false
+// verdict is the hub's combined fault decision for one packet copy.
+type verdict struct {
+	drop  bool
+	dup   bool
+	delay time.Duration
+}
+
+// pktKind extracts the wire message kind from a packet's four-byte header
+// ("AR", version, kind); malformed packets report kind 0, which fault
+// plans with a zero kind mask still match.
+func pktKind(pkt []byte) wire.Kind {
+	if len(pkt) >= 4 && pkt[0] == 'A' && pkt[1] == 'R' {
+		return wire.Kind(pkt[3])
+	}
+	return 0
+}
+
+// decide draws the fault verdict for one packet copy from from to to. All
+// probabilistic draws — the hub's own rates and the fault plan's link
+// streams — happen under one lock, in a fixed order, so a deterministic
+// packet sequence receives a deterministic fault sequence.
+func (h *Hub) decide(from, to wire.ParticipantID, kind wire.Kind) verdict {
+	h.mu.RLock()
+	loss, dup := h.lossRate, h.dupRate
+	rp, rd := h.reorderProb, h.reorderExtra
+	fault, epoch := h.fault, h.faultEpoch
+	h.mu.RUnlock()
+
+	var v verdict
+	if loss <= 0 && dup <= 0 && rp <= 0 && fault == nil {
+		return v
 	}
 	h.rngMu.Lock()
 	defer h.rngMu.Unlock()
-	return h.rng.Float64() < lossRate
+	if loss > 0 && h.rng.Float64() < loss {
+		v.drop = true
+	}
+	if dup > 0 && h.rng.Float64() < dup {
+		v.dup = true
+	}
+	if rp > 0 && h.rng.Float64() < rp {
+		v.delay += rd
+	}
+	if fault != nil {
+		fv := fault.Decide(time.Since(epoch), from, to, kind)
+		v.drop = v.drop || fv.Drop
+		v.dup = v.dup || fv.Dup
+		v.delay += fv.Delay
+	}
+	if v.drop {
+		return verdict{drop: true}
+	}
+	return v
 }
 
-// timedPkt is a packet scheduled for delivery at a due time.
+// timedPkt is a packet scheduled for delivery at a due time. seq breaks
+// due-time ties in arrival order, keeping undelayed traffic FIFO.
 type timedPkt struct {
 	due time.Time
+	seq uint64
 	pkt []byte
+}
+
+// pktHeap orders pending packets by due time, then arrival.
+type pktHeap []timedPkt
+
+func (q pktHeap) Len() int { return len(q) }
+func (q pktHeap) Less(i, j int) bool {
+	if !q[i].due.Equal(q[j].due) {
+		return q[i].due.Before(q[j].due)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q pktHeap) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *pktHeap) Push(x any)   { *q = append(*q, x.(timedPkt)) }
+func (q *pktHeap) Pop() any {
+	old := *q
+	n := len(old)
+	tp := old[n-1]
+	old[n-1].pkt = nil
+	*q = old[:n-1]
+	return tp
 }
 
 // Endpoint is one participant's attachment to the hub.
@@ -147,6 +279,7 @@ type Endpoint struct {
 
 	mu     sync.Mutex
 	closed bool
+	seq    uint64 // arrival stamp for due-time tiebreaks, under mu
 	wg     sync.WaitGroup
 }
 
@@ -155,19 +288,51 @@ var _ transport.Transport = (*Endpoint)(nil)
 // ID returns the participant this endpoint belongs to.
 func (ep *Endpoint) ID() wire.ParticipantID { return ep.id }
 
-// pump delays packets by the hub latency, preserving FIFO order (all
-// packets carry the same delay).
+// pump delays packets until their due time, delivering in due order: a
+// packet carrying an extra reordering delay is overtaken by later traffic
+// with an earlier due time. Equal due times deliver in arrival order, so
+// without reordering faults the pump is FIFO.
 func (ep *Endpoint) pump(in chan timedPkt, out chan []byte) {
 	defer ep.wg.Done()
 	defer close(out)
-	for tp := range in {
-		if d := time.Until(tp.due); d > 0 {
-			time.Sleep(d)
-		}
+	var q pktHeap
+	emit := func() {
+		tp := heap.Pop(&q).(timedPkt)
 		select {
 		case out <- tp.pkt:
 		default:
 			// Receiver queue full: drop, as a kernel buffer would.
+		}
+	}
+	for {
+		if len(q) == 0 {
+			tp, ok := <-in
+			if !ok {
+				return
+			}
+			heap.Push(&q, tp)
+			continue
+		}
+		d := time.Until(q[0].due)
+		if d <= 0 {
+			emit()
+			continue
+		}
+		timer := time.NewTimer(d)
+		select {
+		case tp, ok := <-in:
+			timer.Stop()
+			if !ok {
+				// Closing flushes the backlog in due order without
+				// waiting out the remaining delays.
+				for len(q) > 0 {
+					emit()
+				}
+				return
+			}
+			heap.Push(&q, tp)
+		case <-timer.C:
+			emit()
 		}
 	}
 }
@@ -183,7 +348,6 @@ func (ep *Endpoint) Multicast(pkt []byte) error {
 
 	h := ep.hub
 	h.mu.RLock()
-	loss := h.lossRate
 	myGroup := h.partition[ep.id]
 	targets := make([]*Endpoint, 0, len(h.endpoints))
 	for id, other := range h.endpoints {
@@ -193,12 +357,20 @@ func (ep *Endpoint) Multicast(pkt []byte) error {
 		targets = append(targets, other)
 	}
 	h.mu.RUnlock()
+	// Iterate destinations in ascending ID order so the fault generator's
+	// draw sequence does not depend on map iteration order.
+	sort.Slice(targets, func(i, j int) bool { return targets[i].id < targets[j].id })
 
+	kind := pktKind(pkt)
 	for _, other := range targets {
-		if h.drop(loss) {
+		v := h.decide(ep.id, other.id, kind)
+		if v.drop {
 			continue
 		}
-		other.deliver(other.dataIn, pkt)
+		other.deliver(other.dataIn, pkt, v.delay)
+		if v.dup {
+			other.deliver(other.dataIn, pkt, v.delay)
+		}
 	}
 	return nil
 }
@@ -214,7 +386,6 @@ func (ep *Endpoint) Unicast(to wire.ParticipantID, pkt []byte) error {
 
 	h := ep.hub
 	h.mu.RLock()
-	loss := h.lossRate
 	target := h.endpoints[to]
 	connected := target != nil && h.partition[to] == h.partition[ep.id]
 	h.mu.RUnlock()
@@ -225,15 +396,20 @@ func (ep *Endpoint) Unicast(to wire.ParticipantID, pkt []byte) error {
 	if !connected && to != ep.id {
 		return nil // silently partitioned, like a real network
 	}
-	if h.drop(loss) {
+	v := h.decide(ep.id, to, pktKind(pkt))
+	if v.drop {
 		return nil
 	}
-	target.deliver(target.tokenIn, pkt)
+	target.deliver(target.tokenIn, pkt, v.delay)
+	if v.dup {
+		target.deliver(target.tokenIn, pkt, v.delay)
+	}
 	return nil
 }
 
-// deliver copies the packet into a delay queue, dropping on overflow.
-func (ep *Endpoint) deliver(ch chan timedPkt, pkt []byte) {
+// deliver copies the packet into a delay queue with the hub latency plus
+// any extra fault delay, dropping on overflow.
+func (ep *Endpoint) deliver(ch chan timedPkt, pkt []byte, extra time.Duration) {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
 	if ep.closed {
@@ -241,8 +417,9 @@ func (ep *Endpoint) deliver(ch chan timedPkt, pkt []byte) {
 	}
 	cp := make([]byte, len(pkt))
 	copy(cp, pkt)
+	ep.seq++
 	select {
-	case ch <- timedPkt{due: time.Now().Add(ep.latency), pkt: cp}:
+	case ch <- timedPkt{due: time.Now().Add(ep.latency + extra), seq: ep.seq, pkt: cp}:
 	default:
 		// Queue full: drop, as a kernel socket buffer would.
 	}

@@ -49,8 +49,8 @@ func FuzzDecodeData(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-encoded packet does not decode: %v", err)
 		}
-		if m.Seq != m2.Seq || m.PID != m2.PID || string(m.Payload) != string(m2.Payload) {
-			t.Fatal("round-trip mismatch")
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("round-trip mismatch:\n%#v\n%#v", m, m2)
 		}
 	})
 }
@@ -83,8 +83,16 @@ func FuzzDecodeJoin(f *testing.F) {
 		if err != nil {
 			return
 		}
-		if _, err := j.Encode(); err != nil {
+		re, err := j.Encode()
+		if err != nil {
 			t.Fatalf("decoded join does not re-encode: %v", err)
+		}
+		j2, err := DecodeJoin(re)
+		if err != nil {
+			t.Fatalf("re-encoded join does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(j, j2) {
+			t.Fatalf("round-trip mismatch:\n%#v\n%#v", j, j2)
 		}
 	})
 }
@@ -96,8 +104,16 @@ func FuzzDecodeCommit(f *testing.F) {
 		if err != nil {
 			return
 		}
-		if _, err := ct.Encode(); err != nil {
+		re, err := ct.Encode()
+		if err != nil {
 			t.Fatalf("decoded commit token does not re-encode: %v", err)
+		}
+		ct2, err := DecodeCommit(re)
+		if err != nil {
+			t.Fatalf("re-encoded commit token does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(ct, ct2) {
+			t.Fatalf("round-trip mismatch:\n%#v\n%#v", ct, ct2)
 		}
 	})
 }

@@ -3,6 +3,7 @@ package accelring
 import (
 	"time"
 
+	"accelring/internal/faultplan"
 	"accelring/internal/transport"
 	"accelring/internal/transport/memnet"
 	"accelring/internal/transport/udpnet"
@@ -51,8 +52,9 @@ func NewUDPTransport(opts UDPOptions) (Transport, error) {
 }
 
 // MemoryNetwork is an in-process network hub for tests, simulations and
-// single-process demos. It supports fault injection: packet loss and
-// network partitions.
+// single-process demos. It supports fault injection: packet loss,
+// duplication, reordering, network partitions, and declarative fault
+// plans — every probabilistic decision drawn from one seeded generator.
 type MemoryNetwork struct {
 	hub *memnet.Hub
 }
@@ -83,3 +85,20 @@ func (m *MemoryNetwork) SetPartition(id ParticipantID, group int) {
 
 // Heal reconnects all partitions.
 func (m *MemoryNetwork) Heal() { m.hub.Heal() }
+
+// SetDupRate delivers each packet twice independently with probability p.
+func (m *MemoryNetwork) SetDupRate(p float64) { m.hub.SetDupRate(p) }
+
+// SetReorder delays each packet independently with probability p by extra,
+// letting later packets overtake it.
+func (m *MemoryNetwork) SetReorder(p float64, extra time.Duration) {
+	m.hub.SetReorder(p, extra)
+}
+
+// ScheduleHeal arranges for Heal to run after the given duration.
+func (m *MemoryNetwork) ScheduleHeal(after time.Duration) { m.hub.ScheduleHeal(after) }
+
+// ApplyFaults evaluates a declarative fault plan on every subsequent
+// packet; crash and restart events in the plan are ignored. A nil plan
+// clears it.
+func (m *MemoryNetwork) ApplyFaults(plan *faultplan.Plan) { m.hub.ApplyFaults(plan) }
