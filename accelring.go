@@ -169,8 +169,15 @@ type Node struct {
 	stopOnce sync.Once
 	done     chan struct{}
 
+	// nm is the runtime instrumentation (atomic; shared between the
+	// protocol goroutine and Metrics callers). lastTokenAt is owned by the
+	// protocol goroutine.
+	nm          *nodeMetrics
+	lastTokenAt time.Time
+
 	mu      sync.Mutex
-	lastErr error
+	errs    []error // ring of recent protocol-loop errors
+	errHead int     // index of the oldest entry once the ring is full
 }
 
 type submitReq struct {
@@ -234,6 +241,7 @@ func Start(opts Options) (*Node, error) {
 		statsCh:  make(chan chan Stats),
 		stopCh:   make(chan struct{}),
 		done:     make(chan struct{}),
+		nm:       newNodeMetrics(),
 	}
 
 	var initial []core.Action
@@ -281,12 +289,36 @@ func (n *Node) Stats() (Stats, error) {
 	}
 }
 
-// Err returns the last transport error observed by the protocol loop, if
-// any. Transient UDP errors do not stop the loop.
+// Err returns the most recent transport or decode error observed by the
+// protocol loop, if any. Transient UDP errors do not stop the loop; use
+// RecentErrors or Metrics for a fuller picture of an error burst.
 func (n *Node) Err() error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.lastErr
+	if len(n.errs) == 0 {
+		return nil
+	}
+	if len(n.errs) < errRingCap {
+		return n.errs[len(n.errs)-1]
+	}
+	return n.errs[(n.errHead+errRingCap-1)%errRingCap]
+}
+
+// RecentErrors returns a copy of the bounded ring of recent errors the
+// protocol loop observed, oldest first. The total (unbounded) error count
+// is in Metrics.
+func (n *Node) RecentErrors() []error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.errs) == 0 {
+		return nil
+	}
+	out := make([]error, 0, len(n.errs))
+	if len(n.errs) < errRingCap {
+		return append(out, n.errs...)
+	}
+	out = append(out, n.errs[n.errHead:]...)
+	return append(out, n.errs[:n.errHead]...)
 }
 
 // Close stops the protocol loop and releases the transport.

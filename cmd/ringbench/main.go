@@ -31,6 +31,7 @@ func run() int {
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	quick := flag.Bool("quick", false, "short measurement windows (faster, noisier)")
 	claims := flag.Bool("claims", false, "print each figure's paper claim alongside the data")
+	metricsJSON := flag.String("metrics-json", "", "directory to write BENCH_<figure>.json reports into (token rotation, per-round sends, retransmissions, drops)")
 	flag.Parse()
 
 	scale := bench.FullScale
@@ -39,7 +40,7 @@ func run() int {
 	}
 
 	if *ablationID != "" {
-		return runAblations(*ablationID, *csv)
+		return runAblations(*ablationID, *csv, *metricsJSON)
 	}
 
 	var figures []bench.Figure
@@ -69,12 +70,20 @@ func run() int {
 		if *claims {
 			fmt.Printf("paper: %s\n", f.PaperClaim)
 		}
+		if *metricsJSON != "" {
+			path, err := bench.WriteJSONReport(*metricsJSON, f.ID, f.Title, points)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ringbench: %v\n", err)
+				return 1
+			}
+			fmt.Printf("metrics report: %s\n", path)
+		}
 		fmt.Println()
 	}
 	return 0
 }
 
-func runAblations(id string, csv bool) int {
+func runAblations(id string, csv bool, metricsJSON string) int {
 	var ablations []bench.Ablation
 	if id == "all" {
 		ablations = bench.Ablations()
@@ -97,6 +106,14 @@ func runAblations(id string, csv bool) int {
 			bench.WriteCSV(os.Stdout, points)
 		} else {
 			bench.WriteTable(os.Stdout, a.Title, points)
+		}
+		if metricsJSON != "" {
+			path, err := bench.WriteJSONReport(metricsJSON, "ablation_"+a.ID, a.Title, points)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ringbench: %v\n", err)
+				return 1
+			}
+			fmt.Printf("metrics report: %s\n", path)
 		}
 		fmt.Printf("question: %s\n\n", a.Question)
 	}

@@ -88,15 +88,28 @@ func run() int {
 			}
 		case <-ticker.C:
 			elapsed := time.Since(lastReport).Seconds()
-			st, err := node.Stats()
+			snap, err := node.Metrics()
 			if err != nil {
 				return 0
 			}
+			st := snap.Engine
 			fmt.Printf("%s rate %.0f msg/s (%.0f safe/s, %.2f Mbps payload) | tokens %d retransPkts %d rtrReqs %d memberships %d\n",
 				time.Now().Format("15:04:05.000"),
 				float64(msgs)/elapsed, float64(safeMsgs)/elapsed,
 				float64(bytes)*8/1e6/elapsed,
 				st.TokensProcessed, st.MsgsRetransmitted, st.RTRRequested, st.MembershipChanges)
+			rot := snap.Runtime.TokenRotation
+			fmt.Printf("%s rotation p50 %v p99 %v (n=%d) | accelFlushes %d throttled %d rtrDeferred %d | errs %d staleTimers %d\n",
+				time.Now().Format("15:04:05.000"),
+				rot.P50(), rot.P99(), rot.Count,
+				st.AccelFlushes, st.FlowThrottledRounds, st.RTRDeferredRounds,
+				snap.ErrorCount, snap.Runtime.TimerStaleDrops)
+			if tr := snap.Transport; tr != nil {
+				fmt.Printf("%s transport in %d out %d | queueDrops %d fanout %d selfFiltered %d\n",
+					time.Now().Format("15:04:05.000"),
+					tr.DatagramsIn, tr.DatagramsOut,
+					tr.RecvQueueDrops, tr.FanoutSends, tr.SelfFiltered)
+			}
 			msgs, safeMsgs, bytes = 0, 0, 0
 			lastReport = time.Now()
 		case <-sig:

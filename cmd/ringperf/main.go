@@ -10,16 +10,19 @@ package main
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"accelring"
+	"accelring/internal/bench"
 	"accelring/internal/stats"
 )
 
@@ -36,6 +39,7 @@ func run() int {
 	serviceFlag := flag.String("service", "agreed", "agreed or safe")
 	transportFlag := flag.String("transport", "udp", "udp (loopback sockets) or mem (in-memory)")
 	pack := flag.Int("pack", 0, "message packing threshold (0 disables)")
+	metricsJSON := flag.String("metrics-json", "", "directory to write a BENCH_ringperf.json report into (summary point plus per-node metrics snapshots)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "ringperf: ", log.LstdFlags)
@@ -154,17 +158,91 @@ func run() int {
 
 	elapsed := time.Since(start).Seconds()
 	wantDeliveries := sent.Load() * uint64(*nodes)
+	achieved := float64(sent.Load()) * float64(*size) * 8 / 1e6 / elapsed
 	fmt.Printf("sent %d messages; %d deliveries (%.1f%% of expected)\n",
 		sent.Load(), received.Load(), 100*float64(received.Load())/float64(wantDeliveries))
-	fmt.Printf("achieved %.1f Mbps aggregate payload\n",
-		float64(sent.Load())*float64(*size)*8/1e6/elapsed)
+	fmt.Printf("achieved %.1f Mbps aggregate payload\n", achieved)
 	mu.Lock()
 	defer mu.Unlock()
 	if lat.Count() > 0 {
 		fmt.Printf("latency: mean=%v p50=%v p99=%v max=%v (n=%d)\n",
 			lat.Mean(), lat.Percentile(50), lat.Percentile(99), lat.Max(), lat.Count())
 	}
+	if *metricsJSON != "" {
+		label := fmt.Sprintf("%s/%s/%s", *transportFlag, *protoFlag, *serviceFlag)
+		path, err := writeMetricsReport(*metricsJSON, label, ring, *rate, achieved, &lat, sent.Load())
+		if err != nil {
+			logger.Print(err)
+			return 1
+		}
+		fmt.Printf("metrics report: %s\n", path)
+	}
 	return 0
+}
+
+// writeMetricsReport emits a BENCH_ringperf.json report: one summary point
+// in the shared bench schema plus every node's full metrics snapshot.
+func writeMetricsReport(dir, label string, ring []*accelring.Node, offered, achieved float64, lat *stats.Sample, sent uint64) (string, error) {
+	point := bench.JSONPoint{
+		Series:       label,
+		OfferedMbps:  offered,
+		AchievedMbps: achieved,
+		Stable:       achieved >= 0.97*offered,
+		AvgLatencyUs: float64(lat.Mean()) / float64(time.Microsecond),
+		P50LatencyUs: float64(lat.Percentile(50)) / float64(time.Microsecond),
+		P99LatencyUs: float64(lat.Percentile(99)) / float64(time.Microsecond),
+		Samples:      lat.Count(),
+		Nodes:        len(ring),
+	}
+	snaps := make([]accelring.MetricsSnapshot, 0, len(ring))
+	var rotationNs, rotations int64
+	for _, node := range ring {
+		snap, err := node.Metrics()
+		if err != nil {
+			return "", fmt.Errorf("metrics at %s: %w", node.ID(), err)
+		}
+		snaps = append(snaps, snap)
+		point.TokensHandled += snap.Engine.TokensProcessed
+		point.Retransmits += snap.Engine.MsgsRetransmitted
+		point.PostTokenMsgs += snap.Engine.MsgsPostToken
+		point.AccelFlushes += snap.Engine.AccelFlushes
+		point.RTRDeferredRounds += snap.Engine.RTRDeferredRounds
+		point.FlowThrottledRounds += snap.Engine.FlowThrottledRounds
+		if snap.Transport != nil {
+			point.SockDrops += snap.Transport.RecvQueueDrops
+		}
+		if c := int64(snap.Runtime.TokenRotation.Count); c > 0 {
+			rotationNs += snap.Runtime.TokenRotation.MeanNs * c
+			rotations += c
+		}
+	}
+	if rotations > 0 {
+		point.TokenRotationUs = float64(rotationNs) / float64(rotations) / 1e3
+	}
+	if rounds := float64(point.TokensHandled) / float64(len(ring)); rounds > 0 {
+		point.MsgsPerRound = float64(sent) / rounds
+	}
+	rep := struct {
+		bench.JSONReport
+		NodeMetrics []accelring.MetricsSnapshot `json:"node_metrics"`
+	}{
+		JSONReport: bench.JSONReport{
+			Benchmark:     "ringperf",
+			Title:         "library-based deployment on a real transport",
+			GeneratedUnix: time.Now().Unix(),
+			Points:        []bench.JSONPoint{point},
+		},
+		NodeMetrics: snaps,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_ringperf.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
 }
 
 // buildTransports creates one transport per member on the chosen backend.

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// JSONPoint is one sweep point of a machine-readable benchmark report.
+// Latencies and the token rotation time are in microseconds, matching the
+// CSV output.
+type JSONPoint struct {
+	Series       string  `json:"series"`
+	OfferedMbps  float64 `json:"offered_mbps"`
+	AchievedMbps float64 `json:"achieved_mbps"`
+	Stable       bool    `json:"stable"`
+	AvgLatencyUs float64 `json:"avg_latency_us"`
+	P50LatencyUs float64 `json:"p50_latency_us"`
+	P99LatencyUs float64 `json:"p99_latency_us"`
+	Samples      int     `json:"samples"`
+	// Protocol-level observability: the rotation time and per-round send
+	// count the paper's analysis centers on, plus loss accounting.
+	Nodes               int     `json:"nodes"`
+	TokenRotationUs     float64 `json:"token_rotation_us"`
+	MsgsPerRound        float64 `json:"msgs_per_round"`
+	TokensHandled       uint64  `json:"tokens_handled"`
+	Retransmits         uint64  `json:"retransmits"`
+	PostTokenMsgs       uint64  `json:"post_token_msgs"`
+	AccelFlushes        uint64  `json:"accel_flushes"`
+	RTRDeferredRounds   uint64  `json:"rtr_deferred_rounds"`
+	FlowThrottledRounds uint64  `json:"flow_throttled_rounds"`
+	SwitchDrops         uint64  `json:"switch_drops"`
+	SockDrops           uint64  `json:"sock_drops"`
+}
+
+// JSONReport is the BENCH_<id>.json file format shared by ringbench and
+// ringperf: one benchmark identifier plus its sweep points.
+type JSONReport struct {
+	Benchmark     string      `json:"benchmark"`
+	Title         string      `json:"title,omitempty"`
+	GeneratedUnix int64       `json:"generated_unix"`
+	Points        []JSONPoint `json:"points"`
+}
+
+// toJSONPoint converts a sweep point.
+func toJSONPoint(p Point) JSONPoint {
+	return JSONPoint{
+		Series:              p.Series,
+		OfferedMbps:         p.OfferedMbps,
+		AchievedMbps:        p.AchievedMbps,
+		Stable:              p.Stable,
+		AvgLatencyUs:        us(p.AvgLatency),
+		P50LatencyUs:        us(p.P50Latency),
+		P99LatencyUs:        us(p.P99Latency),
+		Samples:             p.Samples,
+		Nodes:               p.Nodes,
+		TokenRotationUs:     us(p.TokenRotation),
+		MsgsPerRound:        p.MsgsPerRound,
+		TokensHandled:       p.TokensHandled,
+		Retransmits:         p.Retransmits,
+		PostTokenMsgs:       p.PostTokenMsgs,
+		AccelFlushes:        p.AccelFlushes,
+		RTRDeferredRounds:   p.RTRDeferredRounds,
+		FlowThrottledRounds: p.FlowThrottledRounds,
+		SwitchDrops:         p.SwitchDrops,
+		SockDrops:           p.SockDrops,
+	}
+}
+
+// WriteJSONReport writes points as BENCH_<id>.json in dir and returns the
+// file path.
+func WriteJSONReport(dir, id, title string, points []Point) (string, error) {
+	rep := JSONReport{
+		Benchmark:     id,
+		Title:         title,
+		GeneratedUnix: time.Now().Unix(),
+		Points:        make([]JSONPoint, 0, len(points)),
+	}
+	for _, p := range points {
+		rep.Points = append(rep.Points, toJSONPoint(p))
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("bench: encoding %s report: %w", id, err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", id))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("bench: writing %s: %w", path, err)
+	}
+	return path, nil
+}

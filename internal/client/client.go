@@ -5,6 +5,7 @@
 package client
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -49,6 +50,11 @@ type Conn struct {
 	private string
 
 	events chan Event
+	// statsCh carries EvtStats bodies to a waiting Stats call; done is
+	// closed when the read loop exits. statsMu serializes Stats callers.
+	statsCh chan []byte
+	done    chan struct{}
+	statsMu sync.Mutex
 
 	mu     sync.Mutex
 	closed bool
@@ -94,6 +100,8 @@ func Connect(network, addr, name string) (*Conn, error) {
 		conn:    conn,
 		private: private,
 		events:  make(chan Event, eventQueue),
+		statsCh: make(chan []byte, 1),
+		done:    make(chan struct{}),
 	}
 	c.wg.Add(1)
 	go c.readLoop()
@@ -153,6 +161,32 @@ func (c *Conn) MulticastWith(opts MulticastOptions, service wire.Service, payloa
 	return c.sendFrame(ipc.CmdMulticast, body)
 }
 
+// Stats requests the daemon's observability snapshot: per-client submit
+// and delivery counters, group/session totals, and the ring node's full
+// metrics (StatsSnapshot.Node, as raw JSON decodable into
+// accelring.MetricsSnapshot). Concurrent callers are serialized.
+func (c *Conn) Stats() (ipc.StatsSnapshot, error) {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	select {
+	case <-c.statsCh: // discard a stale response from an abandoned call
+	default:
+	}
+	if err := c.sendFrame(ipc.CmdStats, nil); err != nil {
+		return ipc.StatsSnapshot{}, err
+	}
+	select {
+	case body := <-c.statsCh:
+		var snap ipc.StatsSnapshot
+		if err := json.Unmarshal(body, &snap); err != nil {
+			return ipc.StatsSnapshot{}, fmt.Errorf("client: bad stats frame: %w", err)
+		}
+		return snap, nil
+	case <-c.done:
+		return ipc.StatsSnapshot{}, ErrClosed
+	}
+}
+
 // Close terminates the connection.
 func (c *Conn) Close() error {
 	c.mu.Lock()
@@ -182,6 +216,7 @@ func (c *Conn) sendFrame(typ byte, body []byte) error {
 func (c *Conn) readLoop() {
 	defer c.wg.Done()
 	defer close(c.events)
+	defer close(c.done)
 	for {
 		typ, body, err := ipc.ReadFrame(c.conn)
 		if err != nil {
@@ -200,6 +235,11 @@ func (c *Conn) readLoop() {
 				return
 			}
 			c.events <- v
+		case ipc.EvtStats:
+			select {
+			case c.statsCh <- body:
+			default: // no Stats call waiting; drop the response
+			}
 		}
 	}
 }

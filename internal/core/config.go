@@ -212,6 +212,20 @@ type Stats struct {
 	// RTRRequested counts retransmission requests this participant added
 	// to the token.
 	RTRRequested uint64
+	// RTRDeferredRounds counts rounds in which the accelerated-ring
+	// retransmission-caution rule (Section III-A2) bounded this
+	// participant's requests below the received token's sequence frontier:
+	// messages between the previous round's seq and the current one may
+	// still be in flight post-token, so requesting them would trigger
+	// useless retransmissions.
+	RTRDeferredRounds uint64
+	// FlowThrottledRounds counts rounds in which flow control granted a
+	// smaller sending budget than the number of messages waiting to be
+	// initiated (personal/global window or max-seq-gap pressure).
+	FlowThrottledRounds uint64
+	// AccelFlushes counts rounds with at least one post-token multicast;
+	// MsgsPostToken / AccelFlushes is the mean accelerated flush size.
+	AccelFlushes uint64
 	// Delivered counts messages delivered to the application (packed
 	// sub-messages count individually).
 	Delivered uint64

@@ -91,7 +91,11 @@ func (e *Engine) handleRegularToken(tok *wire.Token) []Action {
 	// --- Pre-token phase 2: choose and sequence this round's new
 	// messages. The flow control budget follows Section III-A1; the
 	// global-aru estimate is the token's (post-lowering) aru.
-	budget := e.flow.Budget(e.sourceLen(), numRetrans, receivedFCC, tok.Seq, tok.ARU)
+	waiting := e.sourceLen()
+	budget := e.flow.Budget(waiting, numRetrans, receivedFCC, tok.Seq, tok.ARU)
+	if budget < waiting {
+		e.stats.FlowThrottledRounds++
+	}
 	newMsgs := make([]*wire.DataMessage, 0, budget)
 	// With packing enabled one protocol packet may consume several backlog
 	// entries, so the loop is bounded both by the budget and by the source
@@ -121,6 +125,9 @@ func (e *Engine) handleRegularToken(tok *wire.Token) []Action {
 	}
 	e.stats.MsgsSent += uint64(len(newMsgs))
 	e.stats.MsgsPostToken += uint64(len(newMsgs) - preCount)
+	if len(newMsgs) > preCount {
+		e.stats.AccelFlushes++
+	}
 
 	// --- ARU update, part 2: the ride decided above.
 	if rideARU {
@@ -134,10 +141,16 @@ func (e *Engine) handleRegularToken(tok *wire.Token) []Action {
 	// requesting those would cause useless retransmissions (Section
 	// III-A2).
 	rtr := unanswered
-	if e.prevTokenSeq > e.buf.LocalARU() {
+	localARU = e.buf.LocalARU()
+	if e.prevTokenSeq > localARU {
 		before := len(rtr)
 		rtr = e.appendMissing(rtr, e.prevTokenSeq)
 		e.stats.RTRRequested += uint64(len(rtr) - before)
+	}
+	if receivedSeq > e.prevTokenSeq && receivedSeq > localARU {
+		// The caution rule capped our requests at last round's frontier;
+		// gaps between it and the received seq (if any) wait one round.
+		e.stats.RTRDeferredRounds++
 	}
 	if len(rtr) > wire.MaxRTR {
 		rtr = rtr[:wire.MaxRTR]

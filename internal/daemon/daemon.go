@@ -1,6 +1,7 @@
 package daemon
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
 	"net"
@@ -216,10 +217,46 @@ func (d *Daemon) applyRequest(req request) {
 		}
 		if err := d.node.Submit(encoded, svc); err != nil {
 			d.logf("daemon: submit: %v", err)
+			return
 		}
+		s.submits++
+	case ipc.CmdStats:
+		if s.member == "" {
+			s.close()
+			return
+		}
+		s.send(ipc.EvtStats, d.encodeStats())
 	default:
 		s.close()
 	}
+}
+
+// encodeStats assembles the daemon's StatsSnapshot as JSON: client
+// counters, group/session totals, and the ring node's metrics.
+func (d *Daemon) encodeStats() []byte {
+	snap := ipc.StatsSnapshot{
+		Daemon:   d.node.ID().String(),
+		Sessions: len(d.sessions),
+		Groups:   len(d.groups),
+		Clients:  make(map[string]ipc.ClientStats, len(d.sessions)),
+	}
+	for s := range d.sessions {
+		if s.member == "" {
+			continue
+		}
+		snap.Clients[s.member] = ipc.ClientStats{Submits: s.submits, Deliveries: s.deliveries}
+	}
+	if node, err := d.node.Metrics(); err == nil {
+		if raw, err := json.Marshal(node); err == nil {
+			snap.Node = raw
+		}
+	}
+	body, err := json.Marshal(snap)
+	if err != nil {
+		d.logf("daemon: encoding stats: %v", err)
+		return []byte("{}")
+	}
+	return body
 }
 
 // dropSession removes a disconnected client, multicasting leaves for every
@@ -303,6 +340,7 @@ func (d *Daemon) routeApp(p *appPayload, svc wire.Service) {
 				continue
 			}
 			delivered[s] = true
+			s.deliveries++
 			s.send(ipc.EvtMessage, body)
 		}
 	}

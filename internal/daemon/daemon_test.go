@@ -1,6 +1,7 @@
 package daemon
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"path/filepath"
@@ -329,5 +330,70 @@ func TestSameNameDifferentDaemons(t *testing.T) {
 	b := c.connect(1, "dup")
 	if a.PrivateName() == b.PrivateName() {
 		t.Fatalf("private names collide: %q", a.PrivateName())
+	}
+}
+
+// TestDaemonStatsSnapshot exercises the stats round trip: per-client
+// submit/deliver counters over IPC, plus the embedded node's metrics
+// snapshot decodable from the raw JSON.
+func TestDaemonStatsSnapshot(t *testing.T) {
+	c := startDaemons(t, 2)
+	alice := c.connect(0, "alice")
+	bob := c.connect(1, "bob")
+	if err := alice.Join("chat"); err != nil {
+		t.Fatal(err)
+	}
+	waitView(t, alice, "chat", 1)
+	const sent = 3
+	for i := 0; i < sent; i++ {
+		if err := bob.Multicast(wire.ServiceAgreed, []byte("hello"), "chat"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	collectMessages(t, alice, sent)
+
+	// Alice's daemon: it delivered `sent` messages to alice locally.
+	snap, err := alice.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Sessions != 1 || snap.Groups != 1 {
+		t.Fatalf("daemon 0 stats: %+v, want 1 session / 1 group", snap)
+	}
+	cs, ok := snap.Clients[alice.PrivateName()]
+	if !ok {
+		t.Fatalf("no counters for %s in %+v", alice.PrivateName(), snap.Clients)
+	}
+	if cs.Deliveries != sent || cs.Submits != 0 {
+		t.Fatalf("alice counters = %+v, want %d deliveries / 0 submits", cs, sent)
+	}
+	var node accelring.MetricsSnapshot
+	if err := json.Unmarshal(snap.Node, &node); err != nil {
+		t.Fatalf("decoding node metrics: %v", err)
+	}
+	if node.Engine.TokensProcessed == 0 {
+		t.Fatal("node metrics carry no engine counters")
+	}
+	if node.Runtime.EventsDelivered == 0 {
+		t.Fatal("node metrics carry no runtime counters")
+	}
+
+	// Bob's daemon: bob submitted `sent` multicasts and, not being a
+	// member of the group, received nothing.
+	snap, err = bob.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, ok = snap.Clients[bob.PrivateName()]
+	if !ok {
+		t.Fatalf("no counters for %s in %+v", bob.PrivateName(), snap.Clients)
+	}
+	if cs.Submits != sent || cs.Deliveries != 0 {
+		t.Fatalf("bob counters = %+v, want %d submits / 0 deliveries", cs, sent)
+	}
+
+	// A second request keeps working (the stats channel does not wedge).
+	if _, err := alice.Stats(); err != nil {
+		t.Fatal(err)
 	}
 }

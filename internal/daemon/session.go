@@ -17,9 +17,13 @@ type session struct {
 	d    *Daemon
 	conn net.Conn
 
-	// member is the client's private name once connected (owned by the
-	// daemon main loop).
-	member string
+	// member is the client's private name once connected; submits and
+	// deliveries count this client's ring submissions and the ordered
+	// messages delivered to it. All three are owned by the daemon main
+	// loop.
+	member     string
+	submits    uint64
+	deliveries uint64
 
 	out       chan outFrame
 	closeOnce sync.Once

@@ -12,7 +12,7 @@ import (
 	"accelring/internal/wire"
 )
 
-// Frame types.
+// Frame types. New types are appended so wire values stay stable.
 const (
 	// Client → daemon.
 	CmdConnect byte = iota + 1
@@ -23,6 +23,10 @@ const (
 	EvtWelcome
 	EvtMessage
 	EvtView
+	// CmdStats (client → daemon, empty body) requests a StatsSnapshot;
+	// the daemon answers with one EvtStats frame carrying it as JSON.
+	CmdStats
+	EvtStats
 )
 
 // MaxFrame bounds one frame (payload plus protocol headers).

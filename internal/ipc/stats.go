@@ -1,0 +1,29 @@
+package ipc
+
+import "encoding/json"
+
+// ClientStats is one connected client's activity as the daemon sees it.
+type ClientStats struct {
+	// Submits counts multicasts this client submitted into the ring.
+	Submits uint64 `json:"submits"`
+	// Deliveries counts ordered messages the daemon delivered to it.
+	Deliveries uint64 `json:"deliveries"`
+}
+
+// StatsSnapshot is the JSON body of an EvtStats frame: the daemon's view
+// of its clients and groups, plus the embedded ring node's full metrics
+// snapshot. Node is kept as raw JSON so this package does not depend on
+// the node's metrics types; callers that want it decoded unmarshal it
+// into accelring.MetricsSnapshot.
+type StatsSnapshot struct {
+	// Daemon is the ring participant ID serving this snapshot.
+	Daemon string `json:"daemon"`
+	// Sessions counts connected clients; Groups counts groups with at
+	// least one member anywhere on the ring.
+	Sessions int `json:"sessions"`
+	Groups   int `json:"groups"`
+	// Clients maps each local client's private name to its counters.
+	Clients map[string]ClientStats `json:"clients,omitempty"`
+	// Node is the ring node's metrics snapshot (accelring.MetricsSnapshot).
+	Node json.RawMessage `json:"node,omitempty"`
+}

@@ -108,6 +108,20 @@ type Result struct {
 	TokensHandled uint64
 	Retransmits   uint64
 	PostTokenMsgs uint64
+	// Nodes echoes the ring size. TokenRotation is the mean rotation time
+	// over the run (simulated time divided by rounds, where one round is
+	// TokensHandled/Nodes token hops per node); MsgsPerRound is the mean
+	// number of client messages sequenced per rotation, ring-wide. These
+	// are the derived quantities the paper's Sections IV–V reason with.
+	Nodes         int
+	TokenRotation time.Duration
+	MsgsPerRound  float64
+	// Observability counters summed over nodes: rounds where the
+	// retransmission-caution rule deferred requests, rounds throttled by
+	// flow control, and rounds with a post-token (accelerated) flush.
+	RTRDeferredRounds   uint64
+	FlowThrottledRounds uint64
+	AccelFlushes        uint64
 	// Submitted counts client submissions during the measurement window;
 	// BacklogLeft is the total unsent backlog at the end of the run — a
 	// saturated ring leaves a large backlog.
@@ -280,7 +294,16 @@ func RunCapture(cfg Config) (Result, evscheck.Log, error) {
 		res.TokensHandled += st.TokensProcessed
 		res.Retransmits += st.MsgsRetransmitted
 		res.PostTokenMsgs += st.MsgsPostToken
+		res.RTRDeferredRounds += st.RTRDeferredRounds
+		res.FlowThrottledRounds += st.FlowThrottledRounds
+		res.AccelFlushes += st.AccelFlushes
 		res.BacklogLeft += n.eng.PendingLen()
+	}
+	res.Nodes = cfg.Nodes
+	if rounds := float64(res.TokensHandled) / float64(cfg.Nodes); rounds > 0 {
+		res.TokenRotation = time.Duration(float64(end) / rounds)
+		res.MsgsPerRound = float64(res.Submitted) * float64(res.TokenRotation) /
+			float64(cfg.Measure)
 	}
 	return res, s.capture, nil
 }

@@ -268,6 +268,8 @@ func (q *pktHeap) Pop() any {
 
 // Endpoint is one participant's attachment to the hub.
 type Endpoint struct {
+	transport.Metrics
+
 	hub     *Hub
 	id      wire.ParticipantID
 	latency time.Duration
@@ -300,8 +302,11 @@ func (ep *Endpoint) pump(in chan timedPkt, out chan []byte) {
 		tp := heap.Pop(&q).(timedPkt)
 		select {
 		case out <- tp.pkt:
+			ep.In.Inc()
 		default:
-			// Receiver queue full: drop, as a kernel buffer would.
+			// Receiver queue full: drop, as a kernel buffer would — but
+			// accounted, never silent.
+			ep.Drops.Inc()
 		}
 	}
 	for {
@@ -367,6 +372,8 @@ func (ep *Endpoint) Multicast(pkt []byte) error {
 		if v.drop {
 			continue
 		}
+		ep.Out.Inc()
+		ep.Fanout.Inc()
 		other.deliver(other.dataIn, pkt, v.delay)
 		if v.dup {
 			other.deliver(other.dataIn, pkt, v.delay)
@@ -400,6 +407,7 @@ func (ep *Endpoint) Unicast(to wire.ParticipantID, pkt []byte) error {
 	if v.drop {
 		return nil
 	}
+	ep.Out.Inc()
 	target.deliver(target.tokenIn, pkt, v.delay)
 	if v.dup {
 		target.deliver(target.tokenIn, pkt, v.delay)
@@ -421,7 +429,9 @@ func (ep *Endpoint) deliver(ch chan timedPkt, pkt []byte, extra time.Duration) {
 	select {
 	case ch <- timedPkt{due: time.Now().Add(ep.latency + extra), seq: ep.seq, pkt: cp}:
 	default:
-		// Queue full: drop, as a kernel socket buffer would.
+		// Queue full: drop, as a kernel socket buffer would — accounted
+		// against the receiving endpoint.
+		ep.Drops.Inc()
 	}
 }
 

@@ -205,3 +205,48 @@ func TestRejoinReplacesEndpoint(t *testing.T) {
 	expectNothing(t, old.Token(), 20*time.Millisecond)
 	old.Close()
 }
+
+// TestOverflowDropsAreCounted saturates a receiver that never drains its
+// Data channel and checks that every overflowing packet lands in the drop
+// counter instead of vanishing silently: accepted + dropped must equal
+// sent, and no more than the queue capacity can ever be accepted.
+func TestOverflowDropsAreCounted(t *testing.T) {
+	h := NewHub(1)
+	h.SetLatency(0)
+	sender := h.Join(1)
+	receiver := h.Join(2)
+	defer sender.Close()
+	defer receiver.Close()
+
+	const sent = 3 * defaultQueue
+	for i := 0; i < sent; i++ {
+		if err := sender.Multicast([]byte{byte(i), byte(i >> 8)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The pump keeps moving due packets until every one has been accepted
+	// or dropped; poll for the accounting to converge.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap := receiver.MetricsSnapshot()
+		if snap.DatagramsIn+snap.RecvQueueDrops == sent {
+			if snap.RecvQueueDrops < sent-defaultQueue {
+				t.Fatalf("drops = %d, want >= %d (queue holds at most %d)",
+					snap.RecvQueueDrops, sent-defaultQueue, defaultQueue)
+			}
+			if snap.DatagramsIn > defaultQueue {
+				t.Fatalf("accepted %d packets into a queue of %d", snap.DatagramsIn, defaultQueue)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("accounting never converged: %+v (sent %d)", snap, sent)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if out := sender.MetricsSnapshot(); out.DatagramsOut != sent || out.FanoutSends != sent {
+		t.Fatalf("sender accounting: %+v, want %d out/fanout", out, sent)
+	}
+}

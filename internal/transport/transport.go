@@ -8,6 +8,7 @@ package transport
 import (
 	"errors"
 
+	"accelring/internal/metrics"
 	"accelring/internal/wire"
 )
 
@@ -29,6 +30,57 @@ type Transport interface {
 	// Close releases the transport's resources; the receive channels are
 	// closed afterwards.
 	Close() error
+}
+
+// Snapshot is a point-in-time copy of a transport's loss-accounting
+// counters. Both built-in transports maintain one; external transports may
+// opt in by implementing MetricsSource.
+type Snapshot struct {
+	// DatagramsIn counts packets accepted off the network into the
+	// receive queues (data and token combined).
+	DatagramsIn uint64 `json:"datagrams_in"`
+	// DatagramsOut counts packets handed to the network (an emulated
+	// multicast counts one per destination).
+	DatagramsOut uint64 `json:"datagrams_out"`
+	// RecvQueueDrops counts received packets discarded because a receive
+	// queue was full — the loss the kernel (or the in-memory hub) would
+	// otherwise inflict silently.
+	RecvQueueDrops uint64 `json:"recv_queue_drops"`
+	// FanoutSends counts the individual unicasts performed to emulate
+	// multicast (zero when real IP-multicast is in use).
+	FanoutSends uint64 `json:"fanout_sends"`
+	// SelfFiltered counts self-originated multicast packets filtered on
+	// receive (IP-multicast loopback copies).
+	SelfFiltered uint64 `json:"self_filtered"`
+}
+
+// MetricsSource is implemented by transports that keep loss-accounting
+// counters. The runtime includes the snapshot in Node metrics when the
+// transport supports it.
+type MetricsSource interface {
+	MetricsSnapshot() Snapshot
+}
+
+// Metrics is the shared counter set behind Snapshot; transports embed it
+// (anonymously) to satisfy MetricsSource. All counters are atomic — safe
+// from receive goroutines and the sending protocol loop concurrently.
+type Metrics struct {
+	In           metrics.Counter
+	Out          metrics.Counter
+	Drops        metrics.Counter
+	Fanout       metrics.Counter
+	SelfFiltered metrics.Counter
+}
+
+// MetricsSnapshot implements MetricsSource.
+func (m *Metrics) MetricsSnapshot() Snapshot {
+	return Snapshot{
+		DatagramsIn:    m.In.Load(),
+		DatagramsOut:   m.Out.Load(),
+		RecvQueueDrops: m.Drops.Load(),
+		FanoutSends:    m.Fanout.Load(),
+		SelfFiltered:   m.SelfFiltered.Load(),
+	}
 }
 
 // ErrClosed is returned by send operations on a closed transport.

@@ -48,11 +48,14 @@ type Config struct {
 
 // Transport is a UDP/IP-multicast transport endpoint.
 type Transport struct {
+	transport.Metrics
+
 	cfg       Config
 	dataConn  *net.UDPConn // receive side of the data socket
 	dataSend  *net.UDPConn // send side for data
 	tokenConn *net.UDPConn
 	groupAddr *net.UDPAddr                        // nil in emulation mode
+	selfAddr  *net.UDPAddr                        // dataSend's local address (multicast mode)
 	peers     map[wire.ParticipantID]*net.UDPAddr // token addresses
 	dataAddrs map[wire.ParticipantID]*net.UDPAddr // data addresses (emulation)
 
@@ -122,6 +125,13 @@ func New(cfg Config) (*Transport, error) {
 			return nil, fmt.Errorf("udpnet: opening multicast send socket: %w", err)
 		}
 		t.dataSend = sendConn
+		// Joining a multicast group loops our own sends back to dataConn.
+		// Remember the send socket's source address so the receive loop can
+		// filter those copies: the Transport contract is that Multicast
+		// reaches every participant EXCEPT the sender (participants hold
+		// their own messages already), which the unicast-emulation mode
+		// implements by skipping self at send time.
+		t.selfAddr, _ = sendConn.LocalAddr().(*net.UDPAddr)
 	} else {
 		dataConn, err := net.ListenUDP("udp", &net.UDPAddr{Port: me.DataPort})
 		if err != nil {
@@ -132,26 +142,35 @@ func New(cfg Config) (*Transport, error) {
 	}
 
 	t.wg.Add(2)
-	go t.readLoop(t.dataConn, t.data)
-	go t.readLoop(t.tokenConn, t.token)
+	go t.readLoop(t.dataConn, t.data, t.selfAddr)
+	go t.readLoop(t.tokenConn, t.token, nil)
 	return t, nil
 }
 
-// readLoop pumps packets from a socket into a channel, dropping on
-// overflow (like a full application queue).
-func (t *Transport) readLoop(conn *net.UDPConn, ch chan []byte) {
+// readLoop pumps packets from a socket into a channel, counting overflow
+// drops (like a full kernel socket buffer, but accounted). Packets whose
+// source address matches self are this endpoint's own multicast loopback
+// copies and are filtered.
+func (t *Transport) readLoop(conn *net.UDPConn, ch chan []byte, self *net.UDPAddr) {
 	defer t.wg.Done()
 	buf := make([]byte, MaxDatagram)
 	for {
-		n, _, err := conn.ReadFromUDP(buf)
+		n, src, err := conn.ReadFromUDP(buf)
 		if err != nil {
 			return // socket closed
+		}
+		if self != nil && src != nil && src.Port == self.Port &&
+			(self.IP.IsUnspecified() || src.IP.Equal(self.IP)) {
+			t.SelfFiltered.Inc()
+			continue
 		}
 		pkt := make([]byte, n)
 		copy(pkt, buf[:n])
 		select {
 		case ch <- pkt:
+			t.In.Inc()
 		default:
+			t.Drops.Inc()
 		}
 	}
 }
@@ -169,6 +188,7 @@ func (t *Transport) Multicast(pkt []byte) error {
 		if err != nil {
 			return fmt.Errorf("udpnet: multicast: %w", err)
 		}
+		t.Out.Inc()
 		return nil
 	}
 	// Unicast emulation: fan out to every peer's data port.
@@ -179,6 +199,8 @@ func (t *Transport) Multicast(pkt []byte) error {
 		if _, err := t.dataConn.WriteToUDP(pkt, addr); err != nil {
 			return fmt.Errorf("udpnet: emulated multicast to %s: %w", id, err)
 		}
+		t.Out.Inc()
+		t.Fanout.Inc()
 	}
 	return nil
 }
@@ -198,6 +220,7 @@ func (t *Transport) Unicast(to wire.ParticipantID, pkt []byte) error {
 	if _, err := t.tokenConn.WriteToUDP(pkt, addr); err != nil {
 		return fmt.Errorf("udpnet: unicast to %s: %w", to, err)
 	}
+	t.Out.Inc()
 	return nil
 }
 

@@ -2,63 +2,122 @@ package accelring
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"accelring/internal/core"
+	"accelring/internal/metrics"
 	"accelring/internal/wire"
 )
 
-// timerFire carries a timer expiry into the protocol loop. The generation
-// number invalidates expiries of timers that were re-armed or cancelled
-// after the expiry was already in flight.
-type timerFire struct {
-	kind core.TimerKind
-	gen  uint64
-}
-
 // timerSet tracks the runtime's armed timers on behalf of the engine.
+//
+// Expiries are recorded per kind in a pending map and the loop is woken
+// through a one-slot channel, so a current-generation fire can never be
+// lost: the pending entry persists until the loop consumes it, no matter
+// how busy the loop is. (The earlier design pushed fires through a bounded
+// channel and dropped on overflow — a burst of stale fires could then
+// swallow a valid token-loss expiry and stall failure detection until some
+// unrelated packet arrived.) The generation number invalidates expiries of
+// timers that were re-armed or cancelled after the expiry was recorded.
 type timerSet struct {
-	fired  chan timerFire
-	gens   map[core.TimerKind]uint64
-	timers map[core.TimerKind]*time.Timer
+	wake chan struct{}
+
+	mu      sync.Mutex
+	gens    map[core.TimerKind]uint64
+	timers  map[core.TimerKind]*time.Timer
+	pending map[core.TimerKind]uint64 // kind → generation of an unconsumed fire
+
+	stale *metrics.Counter // expiries discarded as stale (never nil)
 }
 
-func newTimerSet() *timerSet {
+func newTimerSet(stale *metrics.Counter) *timerSet {
+	if stale == nil {
+		stale = &metrics.Counter{}
+	}
 	return &timerSet{
-		fired:  make(chan timerFire, 16),
-		gens:   make(map[core.TimerKind]uint64),
-		timers: make(map[core.TimerKind]*time.Timer),
+		wake:    make(chan struct{}, 1),
+		gens:    make(map[core.TimerKind]uint64),
+		timers:  make(map[core.TimerKind]*time.Timer),
+		pending: make(map[core.TimerKind]uint64),
+		stale:   stale,
 	}
 }
 
 func (ts *timerSet) set(kind core.TimerKind, after time.Duration) {
+	ts.mu.Lock()
 	ts.gens[kind]++
 	gen := ts.gens[kind]
 	if t, ok := ts.timers[kind]; ok {
 		t.Stop()
 	}
-	ts.timers[kind] = time.AfterFunc(after, func() {
-		select {
-		case ts.fired <- timerFire{kind: kind, gen: gen}:
-		default:
-			// The loop is saturated with timer events; this expiry is
-			// stale by the time it would be read anyway.
-		}
-	})
+	if _, ok := ts.pending[kind]; ok {
+		// An unconsumed fire of the previous generation is stale now.
+		delete(ts.pending, kind)
+		ts.stale.Inc()
+	}
+	ts.timers[kind] = time.AfterFunc(after, func() { ts.fire(kind, gen) })
+	ts.mu.Unlock()
 }
 
 func (ts *timerSet) cancel(kind core.TimerKind) {
+	ts.mu.Lock()
 	ts.gens[kind]++
 	if t, ok := ts.timers[kind]; ok {
 		t.Stop()
 		delete(ts.timers, kind)
 	}
+	if _, ok := ts.pending[kind]; ok {
+		delete(ts.pending, kind)
+		ts.stale.Inc()
+	}
+	ts.mu.Unlock()
 }
 
-// current reports whether a fire event is still valid.
-func (ts *timerSet) current(f timerFire) bool { return ts.gens[f.kind] == f.gen }
+// fire records an expiry and wakes the loop. Runs on the timer goroutine.
+func (ts *timerSet) fire(kind core.TimerKind, gen uint64) {
+	ts.mu.Lock()
+	if ts.gens[kind] != gen {
+		ts.mu.Unlock()
+		ts.stale.Inc()
+		return
+	}
+	ts.pending[kind] = gen
+	ts.mu.Unlock()
+	select {
+	case ts.wake <- struct{}{}:
+	default: // already signalled; the pending entry is what matters
+	}
+}
+
+// takeOne removes and returns one still-current pending fire, validating
+// freshness at consumption time (an earlier fire's HandleTimer may have
+// re-armed a kind that is also pending). The lowest kind goes first so
+// multi-fire draining is deterministic.
+func (ts *timerSet) takeOne() (core.TimerKind, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	for len(ts.pending) > 0 {
+		kinds := make([]core.TimerKind, 0, len(ts.pending))
+		for k := range ts.pending {
+			kinds = append(kinds, k)
+		}
+		sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+		k := kinds[0]
+		gen := ts.pending[k]
+		delete(ts.pending, k)
+		if ts.gens[k] == gen {
+			return k, true
+		}
+		ts.stale.Inc()
+	}
+	return 0, false
+}
 
 func (ts *timerSet) stopAll() {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
 	for _, t := range ts.timers {
 		t.Stop()
 	}
@@ -68,7 +127,7 @@ func (ts *timerSet) stopAll() {
 // honoring the token/data priority policy, executes engine actions, and
 // serves submissions and stats requests.
 func (n *Node) loop(eng *core.Engine, initial []core.Action) {
-	ts := newTimerSet()
+	ts := newTimerSet(&n.nm.timerStale)
 	defer func() {
 		ts.stopAll()
 		n.tr.Close()
@@ -117,12 +176,23 @@ func (n *Node) loop(eng *core.Engine, initial []core.Action) {
 				return
 			}
 			n.handlePacket(eng, ts, pkt)
-		case f := <-ts.fired:
-			if ts.current(f) {
-				n.execute(eng, ts, eng.HandleTimer(f.kind))
+		case <-ts.wake:
+			for {
+				kind, ok := ts.takeOne()
+				if !ok {
+					break
+				}
+				n.nm.timerFires.Inc()
+				n.execute(eng, ts, eng.HandleTimer(kind))
 			}
 		case req := <-n.submitCh:
-			req.errCh <- eng.Submit(req.payload, req.service)
+			err := eng.Submit(req.payload, req.service)
+			if err != nil {
+				n.nm.submitErrors.Inc()
+			} else {
+				n.nm.submits.Inc()
+			}
+			req.errCh <- err
 		case ch := <-n.statsCh:
 			ch <- eng.Stats()
 		case <-n.stopCh:
@@ -135,6 +205,7 @@ func (n *Node) loop(eng *core.Engine, initial []core.Action) {
 func (n *Node) handlePacket(eng *core.Engine, ts *timerSet, pkt []byte) {
 	kind, err := wire.PeekKind(pkt)
 	if err != nil {
+		n.nm.decodeFailures.Inc()
 		n.noteErr(fmt.Errorf("accelring: bad packet: %w", err))
 		return
 	}
@@ -143,30 +214,53 @@ func (n *Node) handlePacket(eng *core.Engine, ts *timerSet, pkt []byte) {
 	case wire.KindData:
 		m, err := wire.DecodeData(pkt)
 		if err != nil {
+			n.nm.decodeFailures.Inc()
 			n.noteErr(err)
 			return
 		}
+		n.nm.pktData.Inc()
 		actions = eng.HandleData(m)
 	case wire.KindToken:
 		t, err := wire.DecodeToken(pkt)
 		if err != nil {
+			n.nm.decodeFailures.Inc()
 			n.noteErr(err)
 			return
 		}
+		n.nm.pktToken.Inc()
+		// Token rotation time is the interval between consecutive
+		// accepted tokens (duplicates filtered by the engine do not
+		// count); token handle time is the full cost of processing one,
+		// decode through action execution.
+		start := time.Now()
+		before := eng.Stats().TokensProcessed
 		actions = eng.HandleToken(t)
+		if eng.Stats().TokensProcessed != before {
+			if !n.lastTokenAt.IsZero() {
+				n.nm.tokenRotation.Observe(start.Sub(n.lastTokenAt))
+			}
+			n.lastTokenAt = start
+			n.execute(eng, ts, actions)
+			n.nm.tokenHandle.Observe(time.Since(start))
+			return
+		}
 	case wire.KindJoin:
 		j, err := wire.DecodeJoin(pkt)
 		if err != nil {
+			n.nm.decodeFailures.Inc()
 			n.noteErr(err)
 			return
 		}
+		n.nm.pktJoin.Inc()
 		actions = eng.HandleJoin(j)
 	case wire.KindCommit:
 		c, err := wire.DecodeCommit(pkt)
 		if err != nil {
+			n.nm.decodeFailures.Inc()
 			n.noteErr(err)
 			return
 		}
+		n.nm.pktCommit.Inc()
 		actions = eng.HandleCommit(c)
 	}
 	n.execute(eng, ts, actions)
@@ -179,37 +273,45 @@ func (n *Node) execute(eng *core.Engine, ts *timerSet, actions []core.Action) {
 		case core.SendData:
 			pkt, err := act.Msg.Encode()
 			if err != nil {
+				n.nm.encodeFailures.Inc()
 				n.noteErr(err)
 				continue
 			}
 			if err := n.tr.Multicast(pkt); err != nil {
+				n.nm.sendFailures.Inc()
 				n.noteErr(err)
 			}
 		case core.SendToken:
 			pkt, err := act.Token.Encode()
 			if err != nil {
+				n.nm.encodeFailures.Inc()
 				n.noteErr(err)
 				continue
 			}
 			if err := n.tr.Unicast(act.To, pkt); err != nil {
+				n.nm.sendFailures.Inc()
 				n.noteErr(err)
 			}
 		case core.SendJoin:
 			pkt, err := act.Join.Encode()
 			if err != nil {
+				n.nm.encodeFailures.Inc()
 				n.noteErr(err)
 				continue
 			}
 			if err := n.tr.Multicast(pkt); err != nil {
+				n.nm.sendFailures.Inc()
 				n.noteErr(err)
 			}
 		case core.SendCommit:
 			pkt, err := act.Commit.Encode()
 			if err != nil {
+				n.nm.encodeFailures.Inc()
 				n.noteErr(err)
 				continue
 			}
 			if err := n.tr.Unicast(act.To, pkt); err != nil {
+				n.nm.sendFailures.Inc()
 				n.noteErr(err)
 			}
 		case core.Deliver:
@@ -223,6 +325,7 @@ func (n *Node) execute(eng *core.Engine, ts *timerSet, actions []core.Action) {
 		case core.SetTimer:
 			ts.set(act.Kind, act.After)
 		case core.CancelTimer:
+			n.nm.timerCancels.Inc()
 			ts.cancel(act.Kind)
 		}
 	}
@@ -233,12 +336,24 @@ func (n *Node) execute(eng *core.Engine, ts *timerSet, actions []core.Action) {
 func (n *Node) deliver(ev Event) {
 	select {
 	case n.events <- ev:
+		n.nm.eventsDelivered.Inc()
 	case <-n.stopCh:
 	}
 }
 
+// errRingCap bounds the recent-error ring. A burst of decode or send
+// failures stays visible (count plus the most recent instances) instead of
+// collapsing into one overwritten slot.
+const errRingCap = 16
+
 func (n *Node) noteErr(err error) {
+	n.nm.errors.Inc()
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.lastErr = err
+	if len(n.errs) < errRingCap {
+		n.errs = append(n.errs, err)
+		return
+	}
+	n.errs[n.errHead] = err
+	n.errHead = (n.errHead + 1) % errRingCap
 }

@@ -7,37 +7,124 @@ import (
 	"accelring/internal/core"
 )
 
-func TestTimerSetGenerationsInvalidateStaleFires(t *testing.T) {
-	ts := newTimerSet()
+// takeWithin waits for the timer set to deliver one current fire.
+func takeWithin(t *testing.T, ts *timerSet, d time.Duration) (core.TimerKind, bool) {
+	t.Helper()
+	deadline := time.After(d)
+	for {
+		select {
+		case <-ts.wake:
+			if kind, ok := ts.takeOne(); ok {
+				return kind, true
+			}
+		case <-deadline:
+			// One final poll: the wake signal may have been consumed by an
+			// earlier iteration while the pending entry persisted.
+			return ts.takeOne()
+		}
+	}
+}
+
+func TestTimerSetDeliversCurrentFire(t *testing.T) {
+	ts := newTimerSet(nil)
 	defer ts.stopAll()
 	ts.set(core.TimerTokenLoss, time.Millisecond)
-	f := <-ts.fired
-	if !ts.current(f) {
-		t.Fatal("fresh fire reported stale")
+	kind, ok := takeWithin(t, ts, 5*time.Second)
+	if !ok || kind != core.TimerTokenLoss {
+		t.Fatalf("got (%v, %v), want token-loss fire", kind, ok)
 	}
-	// Re-arming invalidates any in-flight fire of the old generation.
+}
+
+func TestTimerSetRearmInvalidatesPendingFire(t *testing.T) {
+	ts := newTimerSet(nil)
+	defer ts.stopAll()
+	ts.set(core.TimerTokenLoss, 0)
+	// Wait until the expiry has been recorded, then re-arm: the pending
+	// fire must be discarded as stale, and the new generation must still
+	// be deliverable.
+	waitPending(t, ts, core.TimerTokenLoss)
 	ts.set(core.TimerTokenLoss, time.Millisecond)
-	if ts.current(f) {
-		t.Fatal("stale fire reported current after re-arm")
+	kind, ok := takeWithin(t, ts, 5*time.Second)
+	if !ok || kind != core.TimerTokenLoss {
+		t.Fatalf("got (%v, %v), want the re-armed generation's fire", kind, ok)
 	}
-	f2 := <-ts.fired
-	if !ts.current(f2) {
-		t.Fatal("second fire reported stale")
+	if ts.stale.Load() == 0 {
+		t.Fatal("stale fire was not counted")
+	}
+}
+
+// waitPending blocks until an expiry of kind has been recorded.
+func waitPending(t *testing.T, ts *timerSet, kind core.TimerKind) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ts.mu.Lock()
+		_, ok := ts.pending[kind]
+		ts.mu.Unlock()
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("timer never fired")
+		}
+		time.Sleep(100 * time.Microsecond)
 	}
 }
 
 func TestTimerSetCancel(t *testing.T) {
-	ts := newTimerSet()
+	ts := newTimerSet(nil)
 	defer ts.stopAll()
 	ts.set(core.TimerJoin, time.Millisecond)
 	ts.cancel(core.TimerJoin)
-	select {
-	case f := <-ts.fired:
-		if ts.current(f) {
-			t.Fatal("cancelled timer fire reported current")
+	if kind, ok := takeWithin(t, ts, 20*time.Millisecond); ok {
+		t.Fatalf("cancelled timer delivered a fire: %v", kind)
+	}
+}
+
+// TestTimerFireSurvivesRearmBurst is the regression test for the lost
+// timer-fire bug: the old design pushed expiries through a bounded channel
+// and dropped on overflow, so a burst of stale fires (rapid re-arms) could
+// swallow the one valid token-loss expiry and stall failure detection.
+// The pending-map design must always deliver the latest generation.
+func TestTimerFireSurvivesRearmBurst(t *testing.T) {
+	ts := newTimerSet(nil)
+	defer ts.stopAll()
+	// Each re-arm with a zero duration races its own expiry; many of the
+	// expiries land as stale entries. Nothing is drained meanwhile.
+	for i := 0; i < 64; i++ {
+		ts.set(core.TimerTokenLoss, 0)
+	}
+	kind, ok := takeWithin(t, ts, 5*time.Second)
+	if !ok || kind != core.TimerTokenLoss {
+		t.Fatalf("got (%v, %v); the current-generation token-loss fire was lost", kind, ok)
+	}
+}
+
+// TestTokenLossFiresUnderTimerSaturation floods the timer set with
+// expiries of every kind without draining, then checks that a token-loss
+// fire is still delivered — the scenario in which the old bounded channel
+// dropped valid fires.
+func TestTokenLossFiresUnderTimerSaturation(t *testing.T) {
+	ts := newTimerSet(nil)
+	defer ts.stopAll()
+	kinds := []core.TimerKind{
+		core.TimerTokenRetrans, core.TimerJoin, core.TimerConsensus, core.TimerCommit,
+	}
+	for i := 0; i < 16; i++ {
+		for _, k := range kinds {
+			ts.set(k, 0)
 		}
-	case <-time.After(20 * time.Millisecond):
-		// Fine: the timer was stopped before firing.
+	}
+	ts.set(core.TimerTokenLoss, time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		kind, ok := takeWithin(t, ts, 50*time.Millisecond)
+		if ok && kind == core.TimerTokenLoss {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("token-loss fire lost under saturation")
+		}
 	}
 }
 
@@ -66,6 +153,112 @@ func TestNodeIgnoresGarbagePackets(t *testing.T) {
 	// The garbage was noticed, not swallowed silently.
 	if nodes[0].Err() == nil {
 		t.Fatal("garbage packets left no trace in Err()")
+	}
+}
+
+// TestErrorBurstIsAccounted is the regression test for the single-slot
+// lastErr bug: a burst of decode failures used to collapse into one
+// overwritten error. The ring plus counter must make the burst visible.
+func TestErrorBurstIsAccounted(t *testing.T) {
+	net := NewMemoryNetwork(13)
+	nodes := startCluster(t, net, 2, AcceleratedRing)
+
+	rogue := net.Endpoint(98)
+	const garbage = 50
+	for i := 0; i < garbage; i++ {
+		if err := rogue.Multicast([]byte("garbage packet payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Force a round trip through the loop so the flood has been consumed.
+	if err := nodes[0].Submit([]byte("sync"), Agreed); err != nil {
+		t.Fatal(err)
+	}
+	collect(t, nodes[0], 1, 10*time.Second)
+
+	snap, err := nodes[0].Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.ErrorCount < garbage {
+		t.Fatalf("error count = %d, want >= %d (burst collapsed)", snap.ErrorCount, garbage)
+	}
+	if snap.Runtime.DecodeFailures < garbage {
+		t.Fatalf("decode failures = %d, want >= %d", snap.Runtime.DecodeFailures, garbage)
+	}
+	recent := nodes[0].RecentErrors()
+	if len(recent) < 2 {
+		t.Fatalf("recent errors = %d, want a ring of several", len(recent))
+	}
+	if len(recent) > errRingCap {
+		t.Fatalf("recent errors = %d, want bounded by %d", len(recent), errRingCap)
+	}
+	if nodes[0].Err() == nil {
+		t.Fatal("Err() broke: most recent error missing")
+	}
+	if len(snap.RecentErrors) == 0 {
+		t.Fatal("metrics snapshot carries no recent errors")
+	}
+}
+
+// TestNodeMetricsSnapshot checks the runtime section of Metrics over a
+// live ring: packets by kind, token rotation observations, and engine
+// counters all move.
+func TestNodeMetricsSnapshot(t *testing.T) {
+	net := NewMemoryNetwork(14)
+	nodes := startCluster(t, net, 3, AcceleratedRing)
+	const perNode = 10
+	for i := 0; i < perNode; i++ {
+		for _, node := range nodes {
+			if err := node.Submit([]byte("payload"), Agreed); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, node := range nodes {
+		collect(t, node, perNode*3, 20*time.Second)
+	}
+	// A rotation interval needs two accepted tokens; the token keeps
+	// circulating in steady state, so poll until one is observed.
+	var snap MetricsSnapshot
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var err error
+		snap, err = nodes[0].Metrics()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Runtime.TokenRotation.Count > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no token rotation intervals observed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if snap.Runtime.PacketsToken == 0 {
+		t.Fatal("no token packets counted")
+	}
+	if snap.Runtime.PacketsData == 0 {
+		t.Fatal("no data packets counted")
+	}
+	if snap.Runtime.TokenHandle.Count == 0 {
+		t.Fatal("no token handle durations observed")
+	}
+	if snap.Runtime.EventsDelivered < perNode*3 {
+		t.Fatalf("events delivered = %d, want >= %d", snap.Runtime.EventsDelivered, perNode*3)
+	}
+	if snap.Runtime.Submits != perNode {
+		t.Fatalf("submits = %d, want %d", snap.Runtime.Submits, perNode)
+	}
+	if snap.Engine.TokensProcessed == 0 {
+		t.Fatal("engine counters missing from snapshot")
+	}
+	if snap.Transport == nil {
+		t.Fatal("memnet transport should contribute a snapshot")
+	}
+	if snap.Transport.DatagramsIn == 0 || snap.Transport.DatagramsOut == 0 {
+		t.Fatalf("transport accounting empty: %+v", snap.Transport)
 	}
 }
 
