@@ -175,6 +175,17 @@ type Node struct {
 	nm          *nodeMetrics
 	lastTokenAt time.Time
 
+	// Protocol-goroutine-owned scratch state keeping the steady-state hot
+	// path allocation-free: encBuf is the reused encode buffer for every
+	// outgoing packet (the transports borrow it only for the duration of a
+	// send), decTok is the reused token decode target (the engine never
+	// retains the pointer — it deep-copies what it keeps), and rtrScratch
+	// preserves the decoded RTR backing array across rounds because the
+	// engine swaps tok.RTR for its own slice while processing.
+	encBuf     []byte
+	decTok     wire.Token
+	rtrScratch []wire.Seq
+
 	mu      sync.Mutex
 	errs    []error // ring of recent protocol-loop errors
 	errHead int     // index of the oldest entry once the ring is full
@@ -265,15 +276,28 @@ func (n *Node) ID() ParticipantID { return n.id }
 // The channel is closed when the node shuts down.
 func (n *Node) Events() <-chan Event { return n.events }
 
+// errChPool recycles Submit reply channels. A reply channel is strictly
+// request-scoped — the loop answers exactly once and the submitter reads
+// that answer before returning — so pooling it removes one allocation per
+// Submit on the steady-state send path.
+var errChPool = sync.Pool{New: func() any { return make(chan error, 1) }}
+
 // Submit queues an application message for totally ordered multicast to
 // the ring (including back to this node). It blocks while the protocol
 // loop is busy and fails once the engine's backlog is full.
+//
+// The engine retains payload until the message stabilizes, so the caller
+// must not modify it after Submit returns nil.
 func (n *Node) Submit(payload []byte, service Service) error {
-	req := submitReq{payload: payload, service: service, errCh: make(chan error, 1)}
+	errCh := errChPool.Get().(chan error)
+	req := submitReq{payload: payload, service: service, errCh: errCh}
 	select {
 	case n.submitCh <- req:
-		return <-req.errCh
+		err := <-errCh
+		errChPool.Put(errCh)
+		return err
 	case <-n.done:
+		errChPool.Put(errCh)
 		return ErrClosed
 	}
 }

@@ -234,6 +234,81 @@ func BenchmarkWireTokenRoundtrip(b *testing.B) {
 	}
 }
 
+// BenchmarkWireAppendData is the steady-state encode path as the runtime
+// loop actually runs it: appending into a reused scratch buffer. Expected
+// to report 0 allocs/op; the allocation gates in internal/wire enforce it.
+func BenchmarkWireAppendData(b *testing.B) {
+	m := &wire.DataMessage{
+		RingID:  wire.RingID{Rep: 1, Seq: 4},
+		Seq:     12345,
+		PID:     3,
+		Round:   99,
+		Service: wire.ServiceAgreed,
+		Payload: make([]byte, 1350),
+	}
+	scratch := make([]byte, 0, m.EncodedSize())
+	b.SetBytes(int64(m.EncodedSize()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt, err := wire.AppendData(scratch[:0], m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scratch = pkt[:0]
+	}
+}
+
+// BenchmarkWireAppendToken is the token forward path with a reused scratch.
+func BenchmarkWireAppendToken(b *testing.B) {
+	tok := &wire.Token{
+		RingID: wire.RingID{Rep: 1, Seq: 4}, TokenSeq: 77, Round: 400,
+		Seq: 100000, ARU: 99990, FCC: 120, RTR: []wire.Seq{99991, 99995},
+	}
+	scratch := make([]byte, 0, tok.EncodedSize())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pkt, err := wire.AppendToken(scratch[:0], tok)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scratch = pkt[:0]
+	}
+}
+
+// BenchmarkWireDecodeInto is the steady-state decode pair with reused
+// destinations: the data payload aliases the packet, the token reuses its
+// RTR capacity.
+func BenchmarkWireDecodeInto(b *testing.B) {
+	dataPkt, err := (&wire.DataMessage{
+		RingID: wire.RingID{Rep: 1, Seq: 4}, Seq: 12345, PID: 3, Round: 99,
+		Service: wire.ServiceAgreed, Payload: make([]byte, 1350),
+	}).Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tokPkt, err := (&wire.Token{
+		RingID: wire.RingID{Rep: 1, Seq: 4}, TokenSeq: 77, Round: 400,
+		Seq: 100000, ARU: 99990, FCC: 120, RTR: []wire.Seq{99991, 99995},
+	}).Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var m wire.DataMessage
+	var tok wire.Token
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := wire.DecodeDataInto(&m, dataPkt); err != nil {
+			b.Fatal(err)
+		}
+		if err := wire.DecodeTokenInto(&tok, tokPkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEngineTokenRound measures one full engine token round: 8 new
 // messages sequenced, the token updated and forwarded, deliveries drained.
 func BenchmarkEngineTokenRound(b *testing.B) {
@@ -330,6 +405,7 @@ func BenchmarkPackingSmallMessages(b *testing.B) {
 			}
 			payload := make([]byte, 64)
 			b.SetBytes(64)
+			b.ReportAllocs()
 			b.ResetTimer()
 			done := make(chan struct{})
 			for i, node := range nodes {
@@ -380,6 +456,7 @@ func BenchmarkEndToEndMemnet(b *testing.B) {
 	}
 	payload := make([]byte, 1350)
 	b.SetBytes(1350)
+	b.ReportAllocs()
 	b.ResetTimer()
 	// Every node must drain its events or the protocol loop blocks.
 	done := make(chan struct{})

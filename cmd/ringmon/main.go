@@ -110,6 +110,11 @@ func run() int {
 					tr.DatagramsIn, tr.DatagramsOut,
 					tr.RecvQueueDrops, tr.FanoutSends, tr.SelfFiltered)
 			}
+			if bp := snap.BufferPool; bp.Hits+bp.Misses > 0 {
+				fmt.Printf("%s bufpool hits %d misses %d puts %d discards %d\n",
+					time.Now().Format("15:04:05.000"),
+					bp.Hits, bp.Misses, bp.Puts, bp.Discards)
+			}
 			msgs, safeMsgs, bytes = 0, 0, 0
 			lastReport = time.Now()
 		case <-sig:

@@ -17,6 +17,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -130,6 +131,12 @@ func run() int {
 	logger.Printf("%d nodes (%s/%s over %s), %.0f Mbps aggregate = %.0f msg/s/node",
 		*nodes, *protoFlag, *serviceFlag, *transportFlag, *rate, perNodeMsgs)
 
+	// Allocation accounting: difference heap and pool counters across the
+	// measurement window to report allocs per message and pool recycling.
+	poolBefore := accelring.BufferPoolStats()
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+
 	start := time.Now()
 	var sent atomic.Uint64
 	var sendWg sync.WaitGroup
@@ -156,12 +163,28 @@ func run() int {
 	close(stop)
 	wg.Wait()
 
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	poolAfter := accelring.BufferPoolStats()
+	poolDelta := accelring.PoolSnapshot{
+		Hits:     poolAfter.Hits - poolBefore.Hits,
+		Misses:   poolAfter.Misses - poolBefore.Misses,
+		Puts:     poolAfter.Puts - poolBefore.Puts,
+		Discards: poolAfter.Discards - poolBefore.Discards,
+	}
+	allocsPerMsg := 0.0
+	if n := sent.Load(); n > 0 {
+		allocsPerMsg = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(n)
+	}
+
 	elapsed := time.Since(start).Seconds()
 	wantDeliveries := sent.Load() * uint64(*nodes)
 	achieved := float64(sent.Load()) * float64(*size) * 8 / 1e6 / elapsed
 	fmt.Printf("sent %d messages; %d deliveries (%.1f%% of expected)\n",
 		sent.Load(), received.Load(), 100*float64(received.Load())/float64(wantDeliveries))
 	fmt.Printf("achieved %.1f Mbps aggregate payload\n", achieved)
+	fmt.Printf("allocs/msg %.1f | bufpool hits %d misses %d puts %d discards %d\n",
+		allocsPerMsg, poolDelta.Hits, poolDelta.Misses, poolDelta.Puts, poolDelta.Discards)
 	mu.Lock()
 	defer mu.Unlock()
 	if lat.Count() > 0 {
@@ -170,7 +193,7 @@ func run() int {
 	}
 	if *metricsJSON != "" {
 		label := fmt.Sprintf("%s/%s/%s", *transportFlag, *protoFlag, *serviceFlag)
-		path, err := writeMetricsReport(*metricsJSON, label, ring, *rate, achieved, &lat, sent.Load())
+		path, err := writeMetricsReport(*metricsJSON, label, ring, *rate, achieved, &lat, sent.Load(), poolDelta, allocsPerMsg)
 		if err != nil {
 			logger.Print(err)
 			return 1
@@ -182,7 +205,7 @@ func run() int {
 
 // writeMetricsReport emits a BENCH_ringperf.json report: one summary point
 // in the shared bench schema plus every node's full metrics snapshot.
-func writeMetricsReport(dir, label string, ring []*accelring.Node, offered, achieved float64, lat *stats.Sample, sent uint64) (string, error) {
+func writeMetricsReport(dir, label string, ring []*accelring.Node, offered, achieved float64, lat *stats.Sample, sent uint64, pool accelring.PoolSnapshot, allocsPerMsg float64) (string, error) {
 	point := bench.JSONPoint{
 		Series:       label,
 		OfferedMbps:  offered,
@@ -193,6 +216,11 @@ func writeMetricsReport(dir, label string, ring []*accelring.Node, offered, achi
 		P99LatencyUs: float64(lat.Percentile(99)) / float64(time.Microsecond),
 		Samples:      lat.Count(),
 		Nodes:        len(ring),
+		PoolHits:     pool.Hits,
+		PoolMisses:   pool.Misses,
+		PoolPuts:     pool.Puts,
+		PoolDiscards: pool.Discards,
+		AllocsPerMsg: allocsPerMsg,
 	}
 	snaps := make([]accelring.MetricsSnapshot, 0, len(ring))
 	var rotationNs, rotations int64

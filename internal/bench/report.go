@@ -33,6 +33,14 @@ type JSONPoint struct {
 	FlowThrottledRounds uint64  `json:"flow_throttled_rounds"`
 	SwitchDrops         uint64  `json:"switch_drops"`
 	SockDrops           uint64  `json:"sock_drops"`
+	// Allocation observability: process-wide buffer-pool recycling counters
+	// and the measured heap allocations per submitted message, filled by
+	// harnesses that sample runtime.MemStats around the measurement window.
+	PoolHits     uint64  `json:"pool_hits,omitempty"`
+	PoolMisses   uint64  `json:"pool_misses,omitempty"`
+	PoolPuts     uint64  `json:"pool_puts,omitempty"`
+	PoolDiscards uint64  `json:"pool_discards,omitempty"`
+	AllocsPerMsg float64 `json:"allocs_per_msg,omitempty"`
 }
 
 // JSONReport is the BENCH_<id>.json file format shared by ringbench and

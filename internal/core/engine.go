@@ -93,6 +93,15 @@ type Engine struct {
 	safeBound    wire.Seq   // min(aru sent this round, aru sent last round)
 	sentToken    *wire.Token
 
+	// Per-round scratch, reused so the steady-state token round does not
+	// allocate: newMsgsScratch backs handleRegularToken's new-message list
+	// (only the *DataMessage pointers escape into actions, never the slice)
+	// and packBatch backs nextOperationalMessage's packing batch (the
+	// packed container itself is freshly allocated — it is retained in the
+	// message buffer until stability).
+	newMsgsScratch []*wire.DataMessage
+	packBatch      [][]byte
+
 	// Gather state.
 	procSet    map[wire.ParticipantID]bool
 	failSet    map[wire.ParticipantID]bool

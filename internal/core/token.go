@@ -96,7 +96,7 @@ func (e *Engine) handleRegularToken(tok *wire.Token) []Action {
 	if budget < waiting {
 		e.stats.FlowThrottledRounds++
 	}
-	newMsgs := make([]*wire.DataMessage, 0, budget)
+	newMsgs := e.newMsgsScratch[:0]
 	// With packing enabled one protocol packet may consume several backlog
 	// entries, so the loop is bounded both by the budget and by the source
 	// actually draining.
@@ -165,7 +165,7 @@ func (e *Engine) handleRegularToken(tok *wire.Token) []Action {
 	for _, m := range newMsgs[:preCount] {
 		actions = append(actions, SendData{Msg: m})
 	}
-	e.sentToken = tok.Clone()
+	e.sentToken = tok.CloneInto(e.sentToken)
 	e.traceTokenForwarded(e.successor(), tok, numRetrans, len(newMsgs))
 	actions = append(actions, SendToken{To: e.successor(), Token: tok})
 	for _, m := range newMsgs[preCount:] {
@@ -198,6 +198,10 @@ func (e *Engine) handleRegularToken(tok *wire.Token) []Action {
 		SetTimer{Kind: TimerTokenLoss, After: e.cfg.TokenLossTimeout},
 		SetTimer{Kind: TimerTokenRetrans, After: e.cfg.TokenRetransPeriod},
 	)
+	// Keep the (possibly grown) new-message list as next round's scratch.
+	// Only the individual *DataMessage pointers escaped into actions; the
+	// slice itself is round-local.
+	e.newMsgsScratch = newMsgs
 	return actions
 }
 
@@ -285,7 +289,7 @@ func (e *Engine) nextOperationalMessage() *wire.DataMessage {
 	if size > thr {
 		return &wire.DataMessage{Service: first.service, Payload: first.payload}
 	}
-	batch := [][]byte{first.payload}
+	batch := append(e.packBatch[:0], first.payload)
 	for e.PendingLen() > 0 && len(batch) < wire.MaxPacked {
 		next := e.pending[e.pendingHead]
 		if next.service != first.service || size+4+len(next.payload) > thr {
@@ -296,8 +300,12 @@ func (e *Engine) nextOperationalMessage() *wire.DataMessage {
 		e.popPending()
 	}
 	if len(batch) == 1 {
+		e.packBatch = batch[:0]
 		return &wire.DataMessage{Service: first.service, Payload: first.payload}
 	}
+	// The container must be a fresh allocation — it becomes the message's
+	// payload and is retained in the buffer until stability — but the batch
+	// slice collecting the inputs is reusable scratch.
 	packed, err := wire.PackPayloads(batch)
 	if err != nil {
 		// Unreachable: the batch is size-bounded by the validated
@@ -305,6 +313,10 @@ func (e *Engine) nextOperationalMessage() *wire.DataMessage {
 		panic("core: packing failed: " + err.Error())
 	}
 	e.stats.PayloadsPacked += uint64(len(batch))
+	for i := range batch {
+		batch[i] = nil // do not pin submitted payloads past this round
+	}
+	e.packBatch = batch[:0]
 	return &wire.DataMessage{Service: first.service, Payload: packed, Packed: true}
 }
 

@@ -48,6 +48,9 @@ type Daemon struct {
 	groups   map[string][]string // group → sorted private member names
 	local    map[string]*session // private member name → session
 	ring     accelring.Configuration
+	// routed is routeApp's dedup scratch, cleared and reused per message
+	// so the per-delivery hot path does not allocate a map.
+	routed map[*session]bool
 }
 
 type request struct {
@@ -210,6 +213,9 @@ func (d *Daemon) applyRequest(req request) {
 			return
 		}
 		p := appPayload{Sender: s.member, Flags: flags, Groups: groups, Payload: rest}
+		// The encoded payload must be a fresh allocation per submit: the
+		// engine retains it until the message stabilizes ring-wide, so no
+		// scratch reuse is possible here (encode sizes it exactly instead).
 		encoded, err := p.encode()
 		if err != nil {
 			s.close()
@@ -322,9 +328,15 @@ func (d *Daemon) applyRingMessage(m accelring.Message) {
 
 // routeApp delivers an ordered application message to each local client
 // that belongs to any of the destination groups — exactly once, even if it
-// belongs to several.
+// belongs to several. The dedup map is reused scratch; the event body must
+// stay a fresh allocation, because session send queues retain it until the
+// writer goroutine drains them.
 func (d *Daemon) routeApp(p *appPayload, svc wire.Service) {
-	delivered := make(map[*session]bool)
+	if d.routed == nil {
+		d.routed = make(map[*session]bool)
+	}
+	clear(d.routed)
+	delivered := d.routed
 	body := make([]byte, 0, 16+len(p.Sender)+len(p.Payload))
 	body = append(body, byte(svc))
 	body = ipc.PutString(body, p.Sender)

@@ -302,11 +302,14 @@ func (ep *Endpoint) pump(in chan timedPkt, out chan []byte) {
 		tp := heap.Pop(&q).(timedPkt)
 		select {
 		case out <- tp.pkt:
+			// Ownership of the pooled buffer transfers to the consumer,
+			// which returns it with transport.Buffers.Put.
 			ep.In.Inc()
 		default:
 			// Receiver queue full: drop, as a kernel buffer would — but
-			// accounted, never silent.
+			// accounted, never silent — and recycle the buffer.
 			ep.Drops.Inc()
+			transport.Buffers.Put(tp.pkt)
 		}
 	}
 	for {
@@ -415,23 +418,44 @@ func (ep *Endpoint) Unicast(to wire.ParticipantID, pkt []byte) error {
 	return nil
 }
 
+// pooledCopyMax bounds which deliveries copy into pooled buffers. Small
+// packets — tokens, joins, small commits — touch a handful of cache lines,
+// so recycling them through the process-wide pool is free and removes one
+// allocation per token hop. Large data packets are the opposite: the copy
+// happens on the sender's goroutine, and writing ~1.4KB into a recycled
+// buffer whose cache lines were last owned by another node's core costs
+// measurably more end-to-end than a fresh, core-local allocation. (A real
+// NIC has no such choice — udpnet pools every receive — but this hub's
+// "receive" is a CPU copy on the critical path.)
+const pooledCopyMax = 512
+
 // deliver copies the packet into a delay queue with the hub latency plus
-// any extra fault delay, dropping on overflow.
+// any extra fault delay, dropping on overflow. The copy is mandatory — the
+// sender reuses its encode scratch after the call returns. Small packets
+// land in pooled buffers (see pooledCopyMax); the consumer releases either
+// kind with transport.Buffers.Put, which recycles pooled buffers and
+// counts the rest as discards.
 func (ep *Endpoint) deliver(ch chan timedPkt, pkt []byte, extra time.Duration) {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
 	if ep.closed {
 		return
 	}
-	cp := make([]byte, len(pkt))
+	var cp []byte
+	if len(pkt) <= pooledCopyMax {
+		cp = transport.Buffers.Get()[:len(pkt)]
+	} else {
+		cp = make([]byte, len(pkt))
+	}
 	copy(cp, pkt)
 	ep.seq++
 	select {
 	case ch <- timedPkt{due: time.Now().Add(ep.latency + extra), seq: ep.seq, pkt: cp}:
 	default:
 		// Queue full: drop, as a kernel socket buffer would — accounted
-		// against the receiving endpoint.
+		// against the receiving endpoint — and recycle the buffer.
 		ep.Drops.Inc()
+		transport.Buffers.Put(cp)
 	}
 }
 

@@ -1,0 +1,8 @@
+//go:build race
+
+package transport
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, under which sync.Pool deliberately drops Puts at random —
+// invalidating pointer-identity and allocation-count assertions.
+const raceEnabled = true

@@ -14,18 +14,33 @@ import (
 
 // Transport moves encoded packets between participants. Implementations
 // must be safe for one sender goroutine plus internal receivers.
+//
+// Buffer ownership: packets received from Data() and Token() belong to the
+// consumer. The built-in transports draw receive buffers from the shared
+// Buffers pool (udpnet for every packet, memnet for small ones — see its
+// pooledCopyMax), and the runtime loop returns each packet with Buffers.Put
+// after dispatching it — so a received packet must not be retained past
+// that handoff (decoders copy what the protocol keeps). External transports
+// need not use the pool: Put counts and drops foreign buffers instead of
+// recycling them. Conversely, Multicast and Unicast borrow pkt only for the
+// duration of the call; implementations that need it afterwards (queues,
+// retransmission) must copy, because callers reuse their encode scratch.
 type Transport interface {
 	// Multicast sends an encoded packet to every participant except the
-	// sender (participants hold their own messages already).
+	// sender (participants hold their own messages already). pkt is only
+	// valid during the call.
 	Multicast(pkt []byte) error
 	// Unicast sends an encoded packet to one participant. Sending to
 	// yourself must work (singleton rings pass the token to themselves).
+	// pkt is only valid during the call.
 	Unicast(to wire.ParticipantID, pkt []byte) error
 	// Data returns the channel of packets received on the data socket
-	// (multicast data messages and joins).
+	// (multicast data messages and joins). Ownership of each packet
+	// transfers to the receiver; see the buffer ownership note above.
 	Data() <-chan []byte
 	// Token returns the channel of packets received on the token socket
-	// (tokens and commit tokens).
+	// (tokens and commit tokens). Ownership of each packet transfers to
+	// the receiver; see the buffer ownership note above.
 	Token() <-chan []byte
 	// Close releases the transport's resources; the receive channels are
 	// closed afterwards.

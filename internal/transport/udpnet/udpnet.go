@@ -8,6 +8,7 @@ package udpnet
 import (
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
 
 	"accelring/internal/transport"
@@ -15,8 +16,9 @@ import (
 )
 
 // MaxDatagram bounds receive buffers; it accommodates the large-datagram
-// configuration of the paper's Section IV-A3.
-const MaxDatagram = 64 * 1024
+// configuration of the paper's Section IV-A3. It equals the shared pool's
+// buffer size so every received datagram fits in one pooled buffer.
+const MaxDatagram = transport.MaxPacket
 
 // defaultQueue is the receive channel depth per socket.
 const defaultQueue = 4096
@@ -54,10 +56,14 @@ type Transport struct {
 	dataConn  *net.UDPConn // receive side of the data socket
 	dataSend  *net.UDPConn // send side for data
 	tokenConn *net.UDPConn
-	groupAddr *net.UDPAddr                        // nil in emulation mode
-	selfAddr  *net.UDPAddr                        // dataSend's local address (multicast mode)
-	peers     map[wire.ParticipantID]*net.UDPAddr // token addresses
-	dataAddrs map[wire.ParticipantID]*net.UDPAddr // data addresses (emulation)
+	groupAddr *net.UDPAddr // nil in emulation mode
+	// selfAddr is dataSend's local address (multicast mode), unmapped;
+	// the zero AddrPort disables self-filtering. Addresses are netip
+	// values, not *net.UDPAddr, so the send and receive paths stay free
+	// of per-packet address allocations.
+	selfAddr  netip.AddrPort
+	peers     map[wire.ParticipantID]netip.AddrPort // token addresses
+	dataAddrs map[wire.ParticipantID]netip.AddrPort // data addresses (emulation)
 
 	data  chan []byte
 	token chan []byte
@@ -81,8 +87,8 @@ func New(cfg Config) (*Transport, error) {
 	}
 	t := &Transport{
 		cfg:       cfg,
-		peers:     make(map[wire.ParticipantID]*net.UDPAddr, len(cfg.Peers)),
-		dataAddrs: make(map[wire.ParticipantID]*net.UDPAddr, len(cfg.Peers)),
+		peers:     make(map[wire.ParticipantID]netip.AddrPort, len(cfg.Peers)),
+		dataAddrs: make(map[wire.ParticipantID]netip.AddrPort, len(cfg.Peers)),
 		data:      make(chan []byte, queue),
 		token:     make(chan []byte, queue),
 	}
@@ -91,12 +97,12 @@ func New(cfg Config) (*Transport, error) {
 		if err != nil {
 			return nil, fmt.Errorf("udpnet: resolving %s token address: %w", id, err)
 		}
-		t.peers[id] = tokenAddr
+		t.peers[id] = unmapAddrPort(tokenAddr.AddrPort())
 		dataAddr, err := net.ResolveUDPAddr("udp", fmt.Sprintf("%s:%d", p.Host, p.DataPort))
 		if err != nil {
 			return nil, fmt.Errorf("udpnet: resolving %s data address: %w", id, err)
 		}
-		t.dataAddrs[id] = dataAddr
+		t.dataAddrs[id] = unmapAddrPort(dataAddr.AddrPort())
 	}
 
 	tokenConn, err := net.ListenUDP("udp", &net.UDPAddr{Port: me.TokenPort})
@@ -131,7 +137,9 @@ func New(cfg Config) (*Transport, error) {
 		// reaches every participant EXCEPT the sender (participants hold
 		// their own messages already), which the unicast-emulation mode
 		// implements by skipping self at send time.
-		t.selfAddr, _ = sendConn.LocalAddr().(*net.UDPAddr)
+		if la, ok := sendConn.LocalAddr().(*net.UDPAddr); ok {
+			t.selfAddr = unmapAddrPort(la.AddrPort())
+		}
 	} else {
 		dataConn, err := net.ListenUDP("udp", &net.UDPAddr{Port: me.DataPort})
 		if err != nil {
@@ -143,32 +151,47 @@ func New(cfg Config) (*Transport, error) {
 
 	t.wg.Add(2)
 	go t.readLoop(t.dataConn, t.data, t.selfAddr)
-	go t.readLoop(t.tokenConn, t.token, nil)
+	go t.readLoop(t.tokenConn, t.token, netip.AddrPort{})
 	return t, nil
+}
+
+// unmapAddrPort normalizes 4-in-6 mapped addresses so netip comparisons
+// between addresses from different sources (resolver, socket local address,
+// packet source) are meaningful.
+func unmapAddrPort(ap netip.AddrPort) netip.AddrPort {
+	return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
 }
 
 // readLoop pumps packets from a socket into a channel, counting overflow
 // drops (like a full kernel socket buffer, but accounted). Packets whose
 // source address matches self are this endpoint's own multicast loopback
 // copies and are filtered.
-func (t *Transport) readLoop(conn *net.UDPConn, ch chan []byte, self *net.UDPAddr) {
+//
+// The loop reads into buffers from the shared pool and hands each accepted
+// packet to the channel still backed by its pooled buffer — ownership
+// transfers to the consumer, which returns it with transport.Buffers.Put.
+// A filtered or dropped packet's buffer is simply read into again, so the
+// steady state is one pool Get per accepted packet and zero allocations
+// (ReadFromUDPAddrPort returns the source as a value, unlike ReadFromUDP's
+// per-call *net.UDPAddr).
+func (t *Transport) readLoop(conn *net.UDPConn, ch chan []byte, self netip.AddrPort) {
 	defer t.wg.Done()
-	buf := make([]byte, MaxDatagram)
+	buf := transport.Buffers.Get()
+	defer func() { transport.Buffers.Put(buf) }()
 	for {
-		n, src, err := conn.ReadFromUDP(buf)
+		n, src, err := conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			return // socket closed
 		}
-		if self != nil && src != nil && src.Port == self.Port &&
-			(self.IP.IsUnspecified() || src.IP.Equal(self.IP)) {
+		if self.IsValid() && src.Port() == self.Port() &&
+			(self.Addr().IsUnspecified() || src.Addr().Unmap() == self.Addr()) {
 			t.SelfFiltered.Inc()
 			continue
 		}
-		pkt := make([]byte, n)
-		copy(pkt, buf[:n])
 		select {
-		case ch <- pkt:
+		case ch <- buf[:n]:
 			t.In.Inc()
+			buf = transport.Buffers.Get()
 		default:
 			t.Drops.Inc()
 		}
@@ -196,7 +219,7 @@ func (t *Transport) Multicast(pkt []byte) error {
 		if id == t.cfg.MyID {
 			continue
 		}
-		if _, err := t.dataConn.WriteToUDP(pkt, addr); err != nil {
+		if _, err := t.dataConn.WriteToUDPAddrPort(pkt, addr); err != nil {
 			return fmt.Errorf("udpnet: emulated multicast to %s: %w", id, err)
 		}
 		t.Out.Inc()
@@ -217,7 +240,7 @@ func (t *Transport) Unicast(to wire.ParticipantID, pkt []byte) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", transport.ErrUnknownPeer, to)
 	}
-	if _, err := t.tokenConn.WriteToUDP(pkt, addr); err != nil {
+	if _, err := t.tokenConn.WriteToUDPAddrPort(pkt, addr); err != nil {
 		return fmt.Errorf("udpnet: unicast to %s: %w", to, err)
 	}
 	t.Out.Inc()

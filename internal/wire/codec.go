@@ -2,32 +2,31 @@ package wire
 
 import "fmt"
 
-// writer appends big-endian values to a byte slice. It is a plain helper,
-// not an io.Writer: encoding in this package is infallible once sizes are
-// validated, so no error plumbing is needed on the write side.
-type writer struct {
-	buf []byte
+// The write side of the codecs is append-style: every helper takes the
+// destination slice and returns the extended slice, exactly like the
+// standard library's binary.BigEndian.AppendUint64. Encoding is infallible
+// once sizes are validated, so no error plumbing is needed here, and a
+// caller that reuses one scratch buffer across packets encodes without
+// allocating (see AppendData, AppendToken, AppendJoin, AppendCommit).
+
+func appendU8(b []byte, v uint8) []byte { return append(b, v) }
+
+func appendBool(b []byte, v bool) []byte { return append(b, boolByte(v)) }
+
+func appendU16(b []byte, v uint16) []byte { return append(b, byte(v>>8), byte(v)) }
+
+func appendU32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 }
 
-func newWriter(capacity int) *writer {
-	return &writer{buf: make([]byte, 0, capacity)}
-}
-
-func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
-func (w *writer) bool(v bool)  { w.u8(boolByte(v)) }
-func (w *writer) u16(v uint16) { w.buf = append(w.buf, byte(v>>8), byte(v)) }
-func (w *writer) u32(v uint32) {
-	w.buf = append(w.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
-}
-func (w *writer) u64(v uint64) {
-	w.buf = append(w.buf,
+func appendU64(b []byte, v uint64) []byte {
+	return append(b,
 		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
 		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 }
-func (w *writer) bytes(p []byte) { w.buf = append(w.buf, p...) }
 
-func (w *writer) header(k Kind) {
-	w.buf = append(w.buf, magic0, magic1, Version, byte(k))
+func appendHeader(b []byte, k Kind) []byte {
+	return append(b, magic0, magic1, Version, byte(k))
 }
 
 func boolByte(v bool) byte {
@@ -103,7 +102,8 @@ func (r *reader) u64() uint64 {
 }
 
 // bytesCopy reads n bytes and returns a copy, so decoded messages do not
-// alias the (reused) receive buffer.
+// alias the (reused) receive buffer. The zero-copy decoders (DecodeDataInto)
+// use take directly instead and document the aliasing.
 func (r *reader) bytesCopy(n int) []byte {
 	b := r.take(n)
 	if b == nil {
@@ -164,9 +164,9 @@ func PeekKind(pkt []byte) (Kind, error) {
 	return k, nil
 }
 
-func encodeRingID(w *writer, id RingID) {
-	w.u32(uint32(id.Rep))
-	w.u64(id.Seq)
+func appendRingID(b []byte, id RingID) []byte {
+	b = appendU32(b, uint32(id.Rep))
+	return appendU64(b, id.Seq)
 }
 
 func decodeRingID(r *reader) RingID {

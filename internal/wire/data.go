@@ -59,21 +59,24 @@ const (
 // EncodedSize returns the exact size of the encoded message.
 func (m *DataMessage) EncodedSize() int { return dataFixedSize + len(m.Payload) }
 
-// Encode serializes the message. It returns an error if the payload exceeds
-// MaxPayload or the service is invalid.
-func (m *DataMessage) Encode() ([]byte, error) {
+// AppendData appends the encoded message to dst and returns the extended
+// slice. It is the hot-path encoder: a caller that reuses one scratch
+// buffer (dst = scratch[:0]) encodes without allocating once the scratch
+// has grown to the working packet size. It returns an error if the payload
+// exceeds MaxPayload or the service is invalid; dst is returned unchanged
+// on error.
+func AppendData(dst []byte, m *DataMessage) ([]byte, error) {
 	if len(m.Payload) > MaxPayload {
-		return nil, fmt.Errorf("%w: payload %d > %d", ErrTooLarge, len(m.Payload), MaxPayload)
+		return dst, fmt.Errorf("%w: payload %d > %d", ErrTooLarge, len(m.Payload), MaxPayload)
 	}
 	if !m.Service.Valid() {
-		return nil, fmt.Errorf("wire: invalid service %d", uint8(m.Service))
+		return dst, fmt.Errorf("wire: invalid service %d", uint8(m.Service))
 	}
-	w := newWriter(m.EncodedSize())
-	w.header(KindData)
-	encodeRingID(w, m.RingID)
-	w.u64(uint64(m.Seq))
-	w.u32(uint32(m.PID))
-	w.u64(uint64(m.Round))
+	dst = appendHeader(dst, KindData)
+	dst = appendRingID(dst, m.RingID)
+	dst = appendU64(dst, uint64(m.Seq))
+	dst = appendU32(dst, uint32(m.PID))
+	dst = appendU64(dst, uint64(m.Round))
 	var flags uint8
 	if m.PostToken {
 		flags |= dataFlagPostToken
@@ -87,19 +90,29 @@ func (m *DataMessage) Encode() ([]byte, error) {
 	if m.Packed {
 		flags |= dataFlagPacked
 	}
-	w.u8(flags)
-	w.u8(uint8(m.Service))
-	w.u32(uint32(len(m.Payload)))
-	w.bytes(m.Payload)
-	return w.buf, nil
+	dst = appendU8(dst, flags)
+	dst = appendU8(dst, uint8(m.Service))
+	dst = appendU32(dst, uint32(len(m.Payload)))
+	return append(dst, m.Payload...), nil
 }
 
-// DecodeData parses a data packet. The returned message's payload is a copy
-// and does not alias pkt.
-func DecodeData(pkt []byte) (*DataMessage, error) {
+// Encode serializes the message into a freshly allocated, exactly sized
+// buffer. Hot paths should prefer AppendData with a reused scratch.
+func (m *DataMessage) Encode() ([]byte, error) {
+	return AppendData(make([]byte, 0, m.EncodedSize()), m)
+}
+
+// DecodeDataInto parses a data packet into m, which the caller provides
+// (typically a reused per-loop struct).
+//
+// Aliasing contract: m.Payload ALIASES pkt — no copy is made. The message
+// is therefore only valid while pkt is; a caller that recycles pkt (e.g.
+// returns it to a transport buffer pool) must either finish with m first or
+// copy m.Payload before releasing. Use DecodeData for a detached message.
+// All other fields are plain values and never alias pkt.
+func DecodeDataInto(m *DataMessage, pkt []byte) error {
 	r := reader{buf: pkt}
 	r.header(KindData)
-	var m DataMessage
 	m.RingID = decodeRingID(&r)
 	m.Seq = Seq(r.u64())
 	m.PID = ParticipantID(r.u32())
@@ -112,41 +125,65 @@ func DecodeData(pkt []byte) (*DataMessage, error) {
 	m.Service = Service(r.u8())
 	n := r.u32()
 	if n > MaxPayload {
-		return nil, fmt.Errorf("%w: payload %d > %d", ErrTooLarge, n, MaxPayload)
+		return fmt.Errorf("%w: payload %d > %d", ErrTooLarge, n, MaxPayload)
 	}
-	m.Payload = r.bytesCopy(int(n))
+	m.Payload = r.take(int(n))
 	if err := r.finish(); err != nil {
-		return nil, err
+		return err
 	}
 	if !m.Service.Valid() {
-		return nil, fmt.Errorf("wire: invalid service %d", uint8(m.Service))
+		return fmt.Errorf("wire: invalid service %d", uint8(m.Service))
 	}
+	return nil
+}
+
+// DecodeData parses a data packet. The returned message's payload is a copy
+// and does not alias pkt, so it may be retained after pkt is recycled.
+func DecodeData(pkt []byte) (*DataMessage, error) {
+	var m DataMessage
+	if err := DecodeDataInto(&m, pkt); err != nil {
+		return nil, err
+	}
+	cp := make([]byte, len(m.Payload))
+	copy(cp, m.Payload)
+	m.Payload = cp
 	return &m, nil
 }
 
 // MaxPacked bounds how many payloads one packed container may carry.
 const MaxPacked = 256
 
-// PackPayloads concatenates several application payloads into one packed
-// container payload: a 2-byte count followed by length-prefixed entries.
-func PackPayloads(payloads [][]byte) ([]byte, error) {
+// AppendPackedPayloads appends a packed container payload to dst: a 2-byte
+// count followed by length-prefixed entries. Like AppendData it allocates
+// nothing once dst's backing array has grown to the working container size;
+// dst is returned unchanged on error.
+func AppendPackedPayloads(dst []byte, payloads [][]byte) ([]byte, error) {
 	if len(payloads) == 0 || len(payloads) > MaxPacked {
-		return nil, fmt.Errorf("%w: %d packed payloads", ErrTooLarge, len(payloads))
+		return dst, fmt.Errorf("%w: %d packed payloads", ErrTooLarge, len(payloads))
 	}
 	size := 2
 	for _, p := range payloads {
 		size += 4 + len(p)
 	}
 	if size > MaxPayload {
-		return nil, fmt.Errorf("%w: packed container %d > %d", ErrTooLarge, size, MaxPayload)
+		return dst, fmt.Errorf("%w: packed container %d > %d", ErrTooLarge, size, MaxPayload)
 	}
-	w := newWriter(size)
-	w.u16(uint16(len(payloads)))
+	dst = appendU16(dst, uint16(len(payloads)))
 	for _, p := range payloads {
-		w.u32(uint32(len(p)))
-		w.bytes(p)
+		dst = appendU32(dst, uint32(len(p)))
+		dst = append(dst, p...)
 	}
-	return w.buf, nil
+	return dst, nil
+}
+
+// PackPayloads concatenates several application payloads into one packed
+// container payload, freshly allocated at its exact size.
+func PackPayloads(payloads [][]byte) ([]byte, error) {
+	size := 2
+	for _, p := range payloads {
+		size += 4 + len(p)
+	}
+	return AppendPackedPayloads(make([]byte, 0, size), payloads)
 }
 
 // UnpackPayloads splits a packed container payload back into individual

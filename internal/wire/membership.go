@@ -29,24 +29,29 @@ func (j *JoinMessage) EncodedSize() int {
 	return joinFixedSize + 4*(len(j.ProcSet)+len(j.FailSet))
 }
 
-// Encode serializes the join message.
-func (j *JoinMessage) Encode() ([]byte, error) {
+// AppendJoin appends the encoded join message to dst and returns the
+// extended slice; dst is returned unchanged on error.
+func AppendJoin(dst []byte, j *JoinMessage) ([]byte, error) {
 	if len(j.ProcSet) > MaxMembers || len(j.FailSet) > MaxMembers {
-		return nil, fmt.Errorf("%w: join sets exceed %d members", ErrTooLarge, MaxMembers)
+		return dst, fmt.Errorf("%w: join sets exceed %d members", ErrTooLarge, MaxMembers)
 	}
-	w := newWriter(j.EncodedSize())
-	w.header(KindJoin)
-	w.u32(uint32(j.Sender))
-	w.u64(j.RingSeq)
-	w.u16(uint16(len(j.ProcSet)))
-	w.u16(uint16(len(j.FailSet)))
+	dst = appendHeader(dst, KindJoin)
+	dst = appendU32(dst, uint32(j.Sender))
+	dst = appendU64(dst, j.RingSeq)
+	dst = appendU16(dst, uint16(len(j.ProcSet)))
+	dst = appendU16(dst, uint16(len(j.FailSet)))
 	for _, p := range j.ProcSet {
-		w.u32(uint32(p))
+		dst = appendU32(dst, uint32(p))
 	}
 	for _, p := range j.FailSet {
-		w.u32(uint32(p))
+		dst = appendU32(dst, uint32(p))
 	}
-	return w.buf, nil
+	return dst, nil
+}
+
+// Encode serializes the join message.
+func (j *JoinMessage) Encode() ([]byte, error) {
+	return AppendJoin(make([]byte, 0, j.EncodedSize()), j)
 }
 
 // DecodeJoin parses a join packet.
@@ -127,26 +132,31 @@ func (c *CommitToken) EncodedSize() int {
 	return commitFixedSize + commitMemberSize*len(c.Members)
 }
 
-// Encode serializes the commit token.
-func (c *CommitToken) Encode() ([]byte, error) {
+// AppendCommit appends the encoded commit token to dst and returns the
+// extended slice; dst is returned unchanged on error.
+func AppendCommit(dst []byte, c *CommitToken) ([]byte, error) {
 	if len(c.Members) > MaxMembers {
-		return nil, fmt.Errorf("%w: %d members > %d", ErrTooLarge, len(c.Members), MaxMembers)
+		return dst, fmt.Errorf("%w: %d members > %d", ErrTooLarge, len(c.Members), MaxMembers)
 	}
-	w := newWriter(c.EncodedSize())
-	w.header(KindCommit)
-	encodeRingID(w, c.RingID)
-	w.u8(c.Rotation)
-	w.u16(uint16(len(c.Members)))
+	dst = appendHeader(dst, KindCommit)
+	dst = appendRingID(dst, c.RingID)
+	dst = appendU8(dst, c.Rotation)
+	dst = appendU16(dst, uint16(len(c.Members)))
 	for i := range c.Members {
 		m := &c.Members[i]
-		w.u32(uint32(m.ID))
-		encodeRingID(w, m.OldRingID)
-		w.u64(uint64(m.MyARU))
-		w.u64(uint64(m.HighSeq))
-		w.u64(uint64(m.HighDelivered))
-		w.bool(m.Filled)
+		dst = appendU32(dst, uint32(m.ID))
+		dst = appendRingID(dst, m.OldRingID)
+		dst = appendU64(dst, uint64(m.MyARU))
+		dst = appendU64(dst, uint64(m.HighSeq))
+		dst = appendU64(dst, uint64(m.HighDelivered))
+		dst = appendBool(dst, m.Filled)
 	}
-	return w.buf, nil
+	return dst, nil
+}
+
+// Encode serializes the commit token.
+func (c *CommitToken) Encode() ([]byte, error) {
+	return AppendCommit(make([]byte, 0, c.EncodedSize()), c)
 }
 
 // DecodeCommit parses a commit token packet.

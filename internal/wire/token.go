@@ -49,34 +49,43 @@ const tokenFixedSize = 4 + // header
 // EncodedSize returns the exact size of the encoded token.
 func (t *Token) EncodedSize() int { return tokenFixedSize + 8*len(t.RTR) }
 
-// Encode serializes the token. It fails only if the RTR list exceeds
-// MaxRTR.
-func (t *Token) Encode() ([]byte, error) {
+// AppendToken appends the encoded token to dst and returns the extended
+// slice. It fails only if the RTR list exceeds MaxRTR; dst is returned
+// unchanged on error. With a reused scratch (dst = scratch[:0]) it does not
+// allocate.
+func AppendToken(dst []byte, t *Token) ([]byte, error) {
 	if len(t.RTR) > MaxRTR {
-		return nil, fmt.Errorf("%w: %d rtr entries > %d", ErrTooLarge, len(t.RTR), MaxRTR)
+		return dst, fmt.Errorf("%w: %d rtr entries > %d", ErrTooLarge, len(t.RTR), MaxRTR)
 	}
-	w := newWriter(t.EncodedSize())
-	w.header(KindToken)
-	encodeRingID(w, t.RingID)
-	w.u64(t.TokenSeq)
-	w.u64(uint64(t.Round))
-	w.u64(uint64(t.Seq))
-	w.u64(uint64(t.ARU))
-	w.u32(uint32(t.ARUID))
-	w.u32(t.FCC)
-	w.u32(uint32(len(t.RTR)))
+	dst = appendHeader(dst, KindToken)
+	dst = appendRingID(dst, t.RingID)
+	dst = appendU64(dst, t.TokenSeq)
+	dst = appendU64(dst, uint64(t.Round))
+	dst = appendU64(dst, uint64(t.Seq))
+	dst = appendU64(dst, uint64(t.ARU))
+	dst = appendU32(dst, uint32(t.ARUID))
+	dst = appendU32(dst, t.FCC)
+	dst = appendU32(dst, uint32(len(t.RTR)))
 	for _, s := range t.RTR {
-		w.u64(uint64(s))
+		dst = appendU64(dst, uint64(s))
 	}
-	return w.buf, nil
+	return dst, nil
 }
 
-// DecodeToken parses a token packet. The returned token's RTR slice does
-// not alias pkt.
-func DecodeToken(pkt []byte) (*Token, error) {
+// Encode serializes the token into a freshly allocated, exactly sized
+// buffer. Hot paths should prefer AppendToken with a reused scratch.
+func (t *Token) Encode() ([]byte, error) {
+	return AppendToken(make([]byte, 0, t.EncodedSize()), t)
+}
+
+// DecodeTokenInto parses a token packet into t, which the caller provides.
+// t.RTR's existing capacity is reused when possible (append semantics), so
+// a loop that decodes into the same Token amortizes the RTR allocation to
+// zero. The decoded RTR never aliases pkt. On error t is left in an
+// unspecified state but its RTR capacity is preserved for reuse.
+func DecodeTokenInto(t *Token, pkt []byte) error {
 	r := reader{buf: pkt}
 	r.header(KindToken)
-	var t Token
 	t.RingID = decodeRingID(&r)
 	t.TokenSeq = r.u64()
 	t.Round = Round(r.u64())
@@ -86,16 +95,30 @@ func DecodeToken(pkt []byte) (*Token, error) {
 	t.FCC = r.u32()
 	n := r.u32()
 	if n > MaxRTR {
-		return nil, fmt.Errorf("%w: %d rtr entries > %d", ErrTooLarge, n, MaxRTR)
+		return fmt.Errorf("%w: %d rtr entries > %d", ErrTooLarge, n, MaxRTR)
 	}
-	if n > 0 {
-		t.RTR = make([]Seq, n)
-		for i := range t.RTR {
-			t.RTR[i] = Seq(r.u64())
-		}
+	if cap(t.RTR) < int(n) {
+		// One exact-size allocation instead of append's doubling growth;
+		// n is bounded, so a hostile count cannot balloon this.
+		t.RTR = make([]Seq, 0, n)
+	} else {
+		t.RTR = t.RTR[:0]
 	}
-	if err := r.finish(); err != nil {
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		t.RTR = append(t.RTR, Seq(r.u64()))
+	}
+	return r.finish()
+}
+
+// DecodeToken parses a token packet into a fresh Token. The returned
+// token's RTR slice does not alias pkt and is nil when the list is empty.
+func DecodeToken(pkt []byte) (*Token, error) {
+	var t Token
+	if err := DecodeTokenInto(&t, pkt); err != nil {
 		return nil, err
+	}
+	if len(t.RTR) == 0 {
+		t.RTR = nil
 	}
 	return &t, nil
 }
@@ -103,10 +126,23 @@ func DecodeToken(pkt []byte) (*Token, error) {
 // Clone returns a deep copy of the token, so that a forwarded token can be
 // retained for retransmission while the engine mutates its working copy.
 func (t *Token) Clone() *Token {
-	c := *t
-	if t.RTR != nil {
-		c.RTR = make([]Seq, len(t.RTR))
-		copy(c.RTR, t.RTR)
+	return t.CloneInto(nil)
+}
+
+// CloneInto deep-copies t into dst and returns dst, reusing dst's RTR
+// capacity when possible. A nil dst allocates a fresh Token, so
+// `retained = tok.CloneInto(retained)` works from a nil start and stops
+// allocating once the retained copy's RTR capacity covers the working set.
+func (t *Token) CloneInto(dst *Token) *Token {
+	if dst == nil {
+		dst = new(Token)
 	}
-	return &c
+	rtr := dst.RTR[:0]
+	*dst = *t
+	if t.RTR == nil {
+		dst.RTR = nil
+	} else {
+		dst.RTR = append(rtr, t.RTR...)
+	}
+	return dst
 }

@@ -8,6 +8,7 @@ import (
 
 	"accelring/internal/core"
 	"accelring/internal/metrics"
+	"accelring/internal/transport"
 	"accelring/internal/wire"
 )
 
@@ -201,8 +202,15 @@ func (n *Node) loop(eng *core.Engine, initial []core.Action) {
 	}
 }
 
-// handlePacket decodes one packet and feeds it to the engine.
+// handlePacket decodes one packet and feeds it to the engine. The packet
+// buffer is returned to the shared pool on exit — the built-in transports
+// hand the loop pooled buffers, and the decode paths below never let the
+// engine retain a slice of pkt (DecodeData detaches the payload; the token
+// decode target's RTR never aliases pkt; join/commit decoders copy their
+// sets) — so recycling here is safe and closes the Get-per-receive /
+// Put-per-dispatch cycle that keeps the hot path allocation-free.
 func (n *Node) handlePacket(eng *core.Engine, ts *timerSet, pkt []byte) {
+	defer transport.Buffers.Put(pkt)
 	kind, err := wire.PeekKind(pkt)
 	if err != nil {
 		n.nm.decodeFailures.Inc()
@@ -221,12 +229,19 @@ func (n *Node) handlePacket(eng *core.Engine, ts *timerSet, pkt []byte) {
 		n.nm.pktData.Inc()
 		actions = eng.HandleData(m)
 	case wire.KindToken:
-		t, err := wire.DecodeToken(pkt)
-		if err != nil {
+		// Decode into the node's reused token, restoring the RTR scratch
+		// backing first: the engine swaps tok.RTR for its own slice during
+		// handling, and without the restore the scratch's capacity would be
+		// lost after one round.
+		t := &n.decTok
+		t.RTR = n.rtrScratch
+		if err := wire.DecodeTokenInto(t, pkt); err != nil {
+			n.rtrScratch = t.RTR
 			n.nm.decodeFailures.Inc()
 			n.noteErr(err)
 			return
 		}
+		n.rtrScratch = t.RTR
 		n.nm.pktToken.Inc()
 		// Token rotation time is the interval between consecutive
 		// accepted tokens (duplicates filtered by the engine do not
@@ -266,50 +281,57 @@ func (n *Node) handlePacket(eng *core.Engine, ts *timerSet, pkt []byte) {
 	n.execute(eng, ts, actions)
 }
 
-// execute carries out engine actions in order.
+// execute carries out engine actions in order. All four send paths encode
+// into the node's reused scratch buffer: the Transport contract says sends
+// borrow pkt only for the duration of the call, so the buffer is free again
+// by the time the next action encodes.
 func (n *Node) execute(eng *core.Engine, ts *timerSet, actions []core.Action) {
 	for _, a := range actions {
 		switch act := a.(type) {
 		case core.SendData:
-			pkt, err := act.Msg.Encode()
+			pkt, err := wire.AppendData(n.encBuf[:0], act.Msg)
 			if err != nil {
 				n.nm.encodeFailures.Inc()
 				n.noteErr(err)
 				continue
 			}
+			n.encBuf = pkt
 			if err := n.tr.Multicast(pkt); err != nil {
 				n.nm.sendFailures.Inc()
 				n.noteErr(err)
 			}
 		case core.SendToken:
-			pkt, err := act.Token.Encode()
+			pkt, err := wire.AppendToken(n.encBuf[:0], act.Token)
 			if err != nil {
 				n.nm.encodeFailures.Inc()
 				n.noteErr(err)
 				continue
 			}
+			n.encBuf = pkt
 			if err := n.tr.Unicast(act.To, pkt); err != nil {
 				n.nm.sendFailures.Inc()
 				n.noteErr(err)
 			}
 		case core.SendJoin:
-			pkt, err := act.Join.Encode()
+			pkt, err := wire.AppendJoin(n.encBuf[:0], act.Join)
 			if err != nil {
 				n.nm.encodeFailures.Inc()
 				n.noteErr(err)
 				continue
 			}
+			n.encBuf = pkt
 			if err := n.tr.Multicast(pkt); err != nil {
 				n.nm.sendFailures.Inc()
 				n.noteErr(err)
 			}
 		case core.SendCommit:
-			pkt, err := act.Commit.Encode()
+			pkt, err := wire.AppendCommit(n.encBuf[:0], act.Commit)
 			if err != nil {
 				n.nm.encodeFailures.Inc()
 				n.noteErr(err)
 				continue
 			}
+			n.encBuf = pkt
 			if err := n.tr.Unicast(act.To, pkt); err != nil {
 				n.nm.sendFailures.Inc()
 				n.noteErr(err)

@@ -15,6 +15,9 @@ type HistogramSnapshot = metrics.HistogramSnapshot
 // TransportSnapshot re-exports the transport loss-accounting snapshot.
 type TransportSnapshot = transport.Snapshot
 
+// PoolSnapshot re-exports the packet buffer pool counters.
+type PoolSnapshot = transport.PoolSnapshot
+
 // RuntimeMetrics is the runtime-loop section of a MetricsSnapshot: what
 // the protocol goroutine and its timers observed, as opposed to the
 // engine's protocol-level counters.
@@ -63,6 +66,11 @@ type MetricsSnapshot struct {
 	Engine    Stats              `json:"engine"`
 	Runtime   RuntimeMetrics     `json:"runtime"`
 	Transport *TransportSnapshot `json:"transport,omitempty"`
+	// BufferPool is the process-wide packet buffer pool's recycling
+	// counters. The pool is shared by every node and built-in transport in
+	// the process, so the numbers are global, not per-node: a hit rate
+	// near 1 means the receive path is running allocation-free.
+	BufferPool PoolSnapshot `json:"buffer_pool"`
 	// ErrorCount counts every error the protocol loop observed;
 	// RecentErrors holds the most recent ones, oldest first.
 	ErrorCount   uint64   `json:"error_count"`
@@ -134,6 +142,7 @@ func (n *Node) Metrics() (MetricsSnapshot, error) {
 	snap := MetricsSnapshot{
 		Engine:     st,
 		Runtime:    n.nm.runtimeSnapshot(n),
+		BufferPool: transport.Buffers.Snapshot(),
 		ErrorCount: n.nm.errors.Load(),
 	}
 	if src, ok := n.tr.(transport.MetricsSource); ok {
@@ -145,3 +154,9 @@ func (n *Node) Metrics() (MetricsSnapshot, error) {
 	}
 	return snap, nil
 }
+
+// BufferPoolStats returns the process-wide packet buffer pool counters
+// without requiring a running node, so harnesses can difference the
+// counters around a measurement window. Node.Metrics embeds the same
+// snapshot.
+func BufferPoolStats() PoolSnapshot { return transport.Buffers.Snapshot() }
