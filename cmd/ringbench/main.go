@@ -5,20 +5,26 @@
 // Usage:
 //
 //	ringbench [-figure figure1|...|figure7|all] [-ablation <id>|all] [-csv] [-quick] [-claims]
+//	ringbench -multiring [-rings 1,2,4,8] [-multiring-nodes 3] [-multiring-payload 512] [-multiring-dur 1s]
 //
 // Examples:
 //
 //	ringbench -figure figure1          # one figure, full accuracy
 //	ringbench -figure all -quick       # all figures, short measurement windows
 //	ringbench -figure figure3 -csv     # machine-readable output
+//	ringbench -multiring -metrics-json .   # ring-count scaling sweep -> BENCH_multiring.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"accelring/internal/bench"
+	"accelring/internal/clusterbench"
 )
 
 func main() {
@@ -32,6 +38,11 @@ func run() int {
 	quick := flag.Bool("quick", false, "short measurement windows (faster, noisier)")
 	claims := flag.Bool("claims", false, "print each figure's paper claim alongside the data")
 	metricsJSON := flag.String("metrics-json", "", "directory to write BENCH_<figure>.json reports into (token rotation, per-round sends, retransmissions, drops)")
+	multiring := flag.Bool("multiring", false, "run the multi-ring scaling sweep on real memnet clusters instead of the simulator figures")
+	ringsFlag := flag.String("rings", "1,2,4,8", "comma-separated ring counts for -multiring")
+	multiNodes := flag.Int("multiring-nodes", 3, "participants per ring for -multiring")
+	multiPayload := flag.Int("multiring-payload", 512, "payload bytes per message for -multiring")
+	multiDur := flag.Duration("multiring-dur", time.Second, "measurement window per -multiring point")
 	flag.Parse()
 
 	scale := bench.FullScale
@@ -39,6 +50,9 @@ func run() int {
 		scale = bench.QuickScale
 	}
 
+	if *multiring {
+		return runMultiRing(*ringsFlag, *multiNodes, *multiPayload, *multiDur, *quick, *metricsJSON)
+	}
 	if *ablationID != "" {
 		return runAblations(*ablationID, *csv, *metricsJSON)
 	}
@@ -116,6 +130,49 @@ func runAblations(id string, csv bool, metricsJSON string) int {
 			fmt.Printf("metrics report: %s\n", path)
 		}
 		fmt.Printf("question: %s\n\n", a.Question)
+	}
+	return 0
+}
+
+// runMultiRing executes the ring-count scaling sweep and optionally writes
+// BENCH_multiring.json.
+func runMultiRing(ringsCSV string, nodes, payload int, dur time.Duration, quick bool, metricsJSON string) int {
+	var counts []int
+	for _, f := range strings.Split(ringsCSV, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 || n > 255 {
+			fmt.Fprintf(os.Stderr, "ringbench: bad ring count %q\n", f)
+			return 2
+		}
+		counts = append(counts, n)
+	}
+	cfg := clusterbench.MultiRingConfig{
+		RingCounts:  counts,
+		Nodes:       nodes,
+		PayloadSize: payload,
+		Measure:     dur,
+	}
+	if quick {
+		cfg.Warmup = 150 * time.Millisecond
+		cfg.Measure = dur / 4
+	}
+	points, err := clusterbench.RunMultiRingSweep(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ringbench: %v\n", err)
+		return 1
+	}
+	clusterbench.WriteMultiRingTable(os.Stdout, points)
+	if metricsJSON != "" {
+		path, err := clusterbench.WriteMultiRingReport(metricsJSON, points)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ringbench: %v\n", err)
+			return 1
+		}
+		fmt.Printf("metrics report: %s\n", path)
 	}
 	return 0
 }

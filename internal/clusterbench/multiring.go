@@ -1,0 +1,315 @@
+// Package clusterbench benchmarks real accelring clusters — actual nodes
+// over real transports under wall-clock time — unlike internal/bench,
+// whose figure sweeps run the discrete-event simulator model. It lives
+// outside internal/bench because it imports the root package (the sim
+// bench package stays importable from root-package tests).
+package clusterbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"accelring"
+)
+
+// Multi-ring scaling sweep: the same saturating workload driven through
+// M = 1, 2, 4, ... independent rings over memnet, measuring the aggregate
+// merged-order throughput. One ring's throughput is bounded by its token
+// rotation; sharding the group namespace multiplies the ordering capacity,
+// and this sweep records by how much on real MultiNode clusters (not the
+// netsim model the figure benchmarks use).
+
+// MultiRingConfig configures one scaling sweep.
+type MultiRingConfig struct {
+	// RingCounts is the sweep grid, e.g. 1, 2, 4, 8.
+	RingCounts []int
+	// Nodes is the participant count of every ring (default 3).
+	Nodes int
+	// PayloadSize is the application payload per message (default 512).
+	PayloadSize int
+	// Warmup and Measure bound each point's run (defaults 300ms / 1s).
+	Warmup, Measure time.Duration
+	// Latency is the memnet per-hop latency (default 1ms) and
+	// PersonalWindow/GlobalWindow the per-rotation flow-control caps
+	// (defaults 8/24). Together they make each ring rotation-bound — the
+	// regime the paper targets, where one ring's ordering capacity is set
+	// by the token round trip times the window, not by host CPU — so M
+	// independent tokens genuinely overlap in time and the sweep measures
+	// protocol scaling rather than scheduler contention.
+	Latency                      time.Duration
+	PersonalWindow, GlobalWindow int
+	// Seed drives the memnet hubs.
+	Seed int64
+}
+
+// MultiRingPoint is one measured ring count.
+type MultiRingPoint struct {
+	Rings       int     `json:"rings"`
+	Nodes       int     `json:"nodes"`
+	PayloadSize int     `json:"payload_size"`
+	MeasureSecs float64 `json:"measure_secs"`
+	// Delivered counts merged-order messages at the observer during the
+	// measurement window; AggregateMbps is their payload throughput, and
+	// PerRingMbps splits it by completing ring.
+	Delivered     uint64    `json:"delivered"`
+	AggregateMbps float64   `json:"aggregate_mbps"`
+	PerRingMbps   []float64 `json:"per_ring_mbps"`
+	// Merge-layer accounting over the whole run (warmup included).
+	MergeTurns     uint64 `json:"merge_turns"`
+	SkipsSubmitted uint64 `json:"skips_submitted"`
+	SkipsConsumed  uint64 `json:"skips_consumed"`
+	DecodeFailures uint64 `json:"decode_failures"`
+	Submitted      uint64 `json:"submitted"`
+	SubmitErrors   uint64 `json:"submit_errors"`
+}
+
+func (cfg *MultiRingConfig) defaults() {
+	if len(cfg.RingCounts) == 0 {
+		cfg.RingCounts = []int{1, 2, 4, 8}
+	}
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 3
+	}
+	if cfg.PayloadSize <= 0 {
+		cfg.PayloadSize = 512
+	}
+	if cfg.Warmup <= 0 {
+		cfg.Warmup = 300 * time.Millisecond
+	}
+	if cfg.Measure <= 0 {
+		cfg.Measure = time.Second
+	}
+	if cfg.Latency <= 0 {
+		cfg.Latency = 4 * time.Millisecond
+	}
+	if cfg.PersonalWindow <= 0 {
+		cfg.PersonalWindow = 8
+	}
+	if cfg.GlobalWindow <= 0 {
+		cfg.GlobalWindow = 24
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+}
+
+// RunMultiRingSweep measures each ring count in turn and returns the
+// points.
+func RunMultiRingSweep(cfg MultiRingConfig) ([]MultiRingPoint, error) {
+	cfg.defaults()
+	points := make([]MultiRingPoint, 0, len(cfg.RingCounts))
+	for _, m := range cfg.RingCounts {
+		p, err := runMultiRingPoint(cfg, m)
+		if err != nil {
+			return nil, fmt.Errorf("clusterbench: multiring M=%d: %w", m, err)
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// runMultiRingPoint boots one cluster of cfg.Nodes participants over m
+// rings, saturates every shard from every node, and measures the merged
+// throughput at node 1 after warmup.
+func runMultiRingPoint(cfg MultiRingConfig, m int) (MultiRingPoint, error) {
+	hubs := make([]*accelring.MemoryNetwork, m)
+	for r := range hubs {
+		hubs[r] = accelring.NewMemoryNetwork(cfg.Seed + int64(r))
+		hubs[r].SetLatency(cfg.Latency)
+	}
+	members := make([]accelring.ParticipantID, 0, cfg.Nodes)
+	for i := 1; i <= cfg.Nodes; i++ {
+		members = append(members, accelring.ParticipantID(i))
+	}
+	nodes := make([]*accelring.MultiNode, 0, cfg.Nodes)
+	defer func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+	}()
+	for _, id := range members {
+		transports := make([]accelring.Transport, m)
+		for r := range transports {
+			transports[r] = hubs[r].Endpoint(id)
+		}
+		mn, err := accelring.StartMulti(accelring.MultiOptions{
+			Node: accelring.Options{
+				ID:                 id,
+				Members:            members,
+				Windows:            accelring.Windows{Personal: cfg.PersonalWindow, Global: cfg.GlobalWindow, Accelerated: cfg.PersonalWindow},
+				TokenLossTimeout:   400 * time.Millisecond,
+				TokenRetransPeriod: 80 * time.Millisecond,
+			},
+			RingTransports: transports,
+			SkipInterval:   time.Millisecond,
+			EventBuffer:    16384,
+		})
+		if err != nil {
+			return MultiRingPoint{}, err
+		}
+		nodes = append(nodes, mn)
+	}
+
+	// One group per shard so every ring carries load.
+	groups := make([]string, m)
+	for r := range groups {
+		groups[r] = shardGroup(r, m)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var submitted, submitErrs atomic.Uint64
+
+	// Saturating submitters: one goroutine per (node, shard). Submits fail
+	// transiently under flow control; back off briefly and keep pushing.
+	payload := make([]byte, cfg.PayloadSize)
+	for _, mn := range nodes {
+		for r := 0; r < m; r++ {
+			wg.Add(1)
+			go func(mn *accelring.MultiNode, r int) {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := mn.SubmitShard(r, groups[r], payload, accelring.Agreed); err != nil {
+						submitErrs.Add(1)
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					submitted.Add(1)
+				}
+			}(mn, r)
+		}
+	}
+
+	// The observer drains node 1's merged stream; measurement gates on the
+	// warmup boundary. The other nodes' streams must be drained too or
+	// their routers would stall on full output channels.
+	var measuring atomic.Bool
+	var delivered atomic.Uint64
+	var bytes atomic.Uint64
+	perRing := make([]atomic.Uint64, m)
+	for i, mn := range nodes {
+		wg.Add(1)
+		go func(mn *accelring.MultiNode, observer bool) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				case ev, ok := <-mn.Events():
+					if !ok {
+						return
+					}
+					if !observer || !measuring.Load() {
+						continue
+					}
+					if d, isMsg := ev.(accelring.ShardMessage); isMsg {
+						delivered.Add(1)
+						bytes.Add(uint64(len(d.Payload)))
+						perRing[d.Ring].Add(1)
+					}
+				}
+			}
+		}(mn, i == 0)
+	}
+
+	time.Sleep(cfg.Warmup)
+	measuring.Store(true)
+	start := time.Now()
+	time.Sleep(cfg.Measure)
+	measuring.Store(false)
+	elapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+
+	snap, err := nodes[0].Metrics()
+	if err != nil {
+		return MultiRingPoint{}, err
+	}
+	secs := elapsed.Seconds()
+	point := MultiRingPoint{
+		Rings:          m,
+		Nodes:          cfg.Nodes,
+		PayloadSize:    cfg.PayloadSize,
+		MeasureSecs:    secs,
+		Delivered:      delivered.Load(),
+		AggregateMbps:  mbps(bytes.Load(), secs),
+		PerRingMbps:    make([]float64, m),
+		MergeTurns:     snap.Router.Turns,
+		SkipsSubmitted: snap.Router.SkipsSubmitted,
+		SkipsConsumed:  snap.Router.SkipsConsumed,
+		DecodeFailures: snap.Router.DecodeFailures,
+		Submitted:      submitted.Load(),
+		SubmitErrors:   submitErrs.Load(),
+	}
+	for r := range perRing {
+		point.PerRingMbps[r] = mbps(perRing[r].Load()*uint64(cfg.PayloadSize), secs)
+	}
+	return point, nil
+}
+
+// shardGroup returns a deterministic group name hashing to the wanted
+// shard.
+func shardGroup(shard, rings int) string {
+	for i := 0; ; i++ {
+		g := fmt.Sprintf("bench-%d", i)
+		if accelring.ShardOf(g, rings) == shard {
+			return g
+		}
+	}
+}
+
+func mbps(bytes uint64, secs float64) float64 {
+	if secs <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / secs / 1e6
+}
+
+// MultiRingReport is the BENCH_multiring.json file format.
+type MultiRingReport struct {
+	Benchmark     string           `json:"benchmark"`
+	Title         string           `json:"title"`
+	GeneratedUnix int64            `json:"generated_unix"`
+	Points        []MultiRingPoint `json:"points"`
+}
+
+// WriteMultiRingReport writes the sweep as BENCH_multiring.json in dir and
+// returns the file path.
+func WriteMultiRingReport(dir string, points []MultiRingPoint) (string, error) {
+	rep := MultiRingReport{
+		Benchmark:     "multiring",
+		Title:         "Aggregate ordered throughput vs ring count (memnet)",
+		GeneratedUnix: time.Now().Unix(),
+		Points:        points,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("clusterbench: encoding multiring report: %w", err)
+	}
+	path := filepath.Join(dir, "BENCH_multiring.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("clusterbench: writing %s: %w", path, err)
+	}
+	return path, nil
+}
+
+// WriteMultiRingTable renders the sweep as an aligned text table.
+func WriteMultiRingTable(w io.Writer, points []MultiRingPoint) {
+	fmt.Fprintf(w, "%6s %6s %10s %14s %12s %10s\n",
+		"rings", "nodes", "delivered", "aggregate_mbps", "skips_sent", "turns")
+	for _, p := range points {
+		fmt.Fprintf(w, "%6d %6d %10d %14.1f %12d %10d\n",
+			p.Rings, p.Nodes, p.Delivered, p.AggregateMbps, p.SkipsSubmitted, p.MergeTurns)
+	}
+}

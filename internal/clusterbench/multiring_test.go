@@ -1,0 +1,53 @@
+package clusterbench
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestMultiRingSweepSmoke runs a miniature M=1 vs M=2 sweep end to end —
+// real MultiNode clusters over memnet — and round-trips the JSON report.
+// It asserts plumbing (deliveries happened, the report is well-formed),
+// not performance; scaling claims belong to the full cmd/ringbench run.
+func TestMultiRingSweepSmoke(t *testing.T) {
+	points, err := RunMultiRingSweep(MultiRingConfig{
+		RingCounts: []int{1, 2},
+		Nodes:      3,
+		Warmup:     150 * time.Millisecond,
+		Measure:    300 * time.Millisecond,
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 || points[0].Rings != 1 || points[1].Rings != 2 {
+		t.Fatalf("points: %+v", points)
+	}
+	for _, p := range points {
+		if p.Delivered == 0 || p.AggregateMbps <= 0 {
+			t.Fatalf("M=%d made no progress: %+v", p.Rings, p)
+		}
+		if len(p.PerRingMbps) != p.Rings {
+			t.Fatalf("M=%d per-ring split has %d entries", p.Rings, len(p.PerRingMbps))
+		}
+	}
+
+	dir := t.TempDir()
+	path, err := WriteMultiRingReport(dir, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep MultiRingReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Benchmark != "multiring" || len(rep.Points) != 2 {
+		t.Fatalf("report: %+v", rep)
+	}
+}

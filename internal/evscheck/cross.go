@@ -1,0 +1,197 @@
+package evscheck
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cross-ring conformance: the multiring merge layer claims that the
+// deterministic round-robin-with-skip interleave of per-ring total orders
+// is itself a total order — any two nodes deliver any two cross-shard
+// messages in the same relative order. This file checks that claim over
+// the merged delivery streams of a whole cluster run, complementing the
+// per-ring EVS axioms (which are checked, unchanged, on each ring's
+// stream by Check).
+//
+// The checkable invariant rests on merge turns. The merger assigns every
+// emitted message the global round-robin turn it was consumed at, which is
+// a pure function of (ring index, cumulative unit count on that ring) —
+// never of arrival timing. Two nodes that consumed identical per-ring
+// streams therefore assign identical turns, and identical merged orders.
+// Under partitions the per-ring streams themselves may legitimately
+// diverge (EVS permits different configurations to deliver different
+// sets), so the unconditional cross-node checks are scoped to what must
+// hold regardless, and CrossOptions.Converged arms the strict ones.
+//
+// Checked axioms:
+//
+//  1. cross-duplicate: a node's merged stream emits each message at most
+//     once (multi-shard copies collapse into one emission).
+//  2. cross-turn-order: merge turns are strictly increasing within one
+//     node's merged stream — emission order is turn order.
+//  3. cross-order: two nodes that both delivered messages x and y, and
+//     agree on both messages' merge turns, deliver them in the same
+//     relative order. With Converged, the turn-agreement precondition is
+//     dropped: relative order must match for every common pair.
+//  4. cross-turn-agreement (Converged only): a message common to two
+//     nodes carries the same merge turn at both.
+//  5. cross-completeness (Converged only): non-crashed nodes emitted
+//     identical merged streams.
+type CrossDelivery struct {
+	// Key identifies the message globally.
+	Key string
+	// Ring is the ring whose copy completed the message.
+	Ring int
+	// Turn is the global merge turn at emission.
+	Turn uint64
+	// Shards is the number of rings the message was ordered on.
+	Shards int
+}
+
+// CrossNodeLog is one node's complete merged delivery stream.
+type CrossNodeLog struct {
+	Deliveries []CrossDelivery
+	// Crashed marks a node stopped mid-run: completeness guarantees are
+	// waived for it.
+	Crashed bool
+}
+
+// Deliver appends one merged delivery.
+func (nl *CrossNodeLog) Deliver(key string, ring int, turn uint64, shards int) {
+	nl.Deliveries = append(nl.Deliveries, CrossDelivery{Key: key, Ring: ring, Turn: turn, Shards: shards})
+}
+
+// CrossLog maps a node label to its merged stream.
+type CrossLog map[string]*CrossNodeLog
+
+// Node returns the named log, creating it if needed.
+func (l CrossLog) Node(name string) *CrossNodeLog {
+	nl, ok := l[name]
+	if !ok {
+		nl = &CrossNodeLog{}
+		l[name] = nl
+	}
+	return nl
+}
+
+// CrossOptions tunes the strictness of CrossCheck.
+type CrossOptions struct {
+	// Converged asserts every node consumed identical per-ring streams:
+	// no partition divergence and the run ended quiescent. Arms the
+	// turn-agreement and completeness axioms and makes the pairwise order
+	// check unconditional.
+	Converged bool
+}
+
+// CrossCheck verifies the cross-ring total-order axioms over the merged
+// streams of a whole cluster and returns every violation found, in a
+// deterministic order. An empty result is a clean verdict.
+func CrossCheck(l CrossLog, opt CrossOptions) []Violation {
+	var vs []Violation
+	names := make([]string, 0, len(l))
+	for name := range l {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Per-node: duplicates and turn monotonicity.
+	pos := make(map[string]map[string]int, len(l))      // node → key → index
+	turns := make(map[string]map[string]uint64, len(l)) // node → key → turn
+	for _, name := range names {
+		nl := l[name]
+		p := make(map[string]int, len(nl.Deliveries))
+		tn := make(map[string]uint64, len(nl.Deliveries))
+		lastTurn := uint64(0)
+		haveLast := false
+		for i, d := range nl.Deliveries {
+			if _, dup := p[d.Key]; dup {
+				vs = append(vs, Violation{Axiom: "cross-duplicate", Node: name, Detail: fmt.Sprintf(
+					"message %q emitted twice in the merged stream", d.Key)})
+			} else {
+				p[d.Key] = i
+				tn[d.Key] = d.Turn
+			}
+			if haveLast && d.Turn <= lastTurn {
+				vs = append(vs, Violation{Axiom: "cross-turn-order", Node: name, Detail: fmt.Sprintf(
+					"message %q at merge turn %d emitted after turn %d", d.Key, d.Turn, lastTurn)})
+			}
+			lastTurn, haveLast = d.Turn, true
+		}
+		pos[name] = p
+		turns[name] = tn
+	}
+
+	// Pairwise: relative order (and, when converged, turn agreement and
+	// completeness).
+	for i, a := range names {
+		for _, b := range names[i+1:] {
+			vs = append(vs, crossCheckPair(a, b, l, pos, turns, opt)...)
+		}
+	}
+	return vs
+}
+
+// crossCheckPair applies the pairwise cross-ring axioms to two nodes.
+func crossCheckPair(a, b string, l CrossLog, pos map[string]map[string]int, turns map[string]map[string]uint64, opt CrossOptions) []Violation {
+	var vs []Violation
+	pair := a + "|" + b
+	pa, pb := pos[a], pos[b]
+	ta, tb := turns[a], turns[b]
+
+	// Common keys in a's emission order.
+	common := make([]string, 0, len(pa))
+	for k := range pa {
+		if _, ok := pb[k]; ok {
+			common = append(common, k)
+		}
+	}
+	sort.Slice(common, func(i, j int) bool { return pa[common[i]] < pa[common[j]] })
+
+	if opt.Converged {
+		for _, k := range common {
+			if ta[k] != tb[k] {
+				vs = append(vs, Violation{Axiom: "cross-turn-agreement", Node: pair, Detail: fmt.Sprintf(
+					"message %q at merge turn %d on %s but %d on %s", k, ta[k], a, tb[k], b)})
+			}
+		}
+	}
+
+	// Relative order: walking the common messages in a's order, b's
+	// positions must be increasing. Outside converged runs the check is
+	// scoped to the subsequence whose merge turns both nodes agree on —
+	// per-ring divergence legitimately reorders the rest.
+	ordered := common
+	if !opt.Converged {
+		ordered = make([]string, 0, len(common))
+		for _, k := range common {
+			if ta[k] == tb[k] {
+				ordered = append(ordered, k)
+			}
+		}
+	}
+	prev := ""
+	for _, k := range ordered {
+		if prev != "" && pb[k] < pb[prev] {
+			vs = append(vs, Violation{Axiom: "cross-order", Node: pair, Detail: fmt.Sprintf(
+				"messages %q and %q delivered in opposite orders", prev, k)})
+		}
+		prev = k
+	}
+
+	if opt.Converged && !l[a].Crashed && !l[b].Crashed {
+		da, db := l[a].Deliveries, l[b].Deliveries
+		if len(da) != len(db) {
+			vs = append(vs, Violation{Axiom: "cross-completeness", Node: pair, Detail: fmt.Sprintf(
+				"merged streams have %d vs %d deliveries", len(da), len(db))})
+		} else {
+			for i := range da {
+				if da[i].Key != db[i].Key {
+					vs = append(vs, Violation{Axiom: "cross-completeness", Node: pair, Detail: fmt.Sprintf(
+						"merged streams diverge at %d: %q vs %q", i, da[i].Key, db[i].Key)})
+					break
+				}
+			}
+		}
+	}
+	return vs
+}

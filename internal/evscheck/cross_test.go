@@ -1,0 +1,137 @@
+package evscheck
+
+import "testing"
+
+// baseCrossLog builds a clean three-node merged history over two rings:
+// every node emitted the same five cross-shard messages at the same merge
+// turns. Message "c" was ordered on both rings (Shards = 2).
+func baseCrossLog() CrossLog {
+	l := CrossLog{}
+	for _, name := range []string{"1", "2", "3"} {
+		nl := l.Node(name)
+		nl.Deliver("a", 0, 0, 1)
+		nl.Deliver("b", 1, 1, 1)
+		nl.Deliver("c", 1, 3, 2)
+		nl.Deliver("d", 0, 4, 1)
+		nl.Deliver("e", 1, 5, 1)
+	}
+	return l
+}
+
+func TestCrossCleanLogPasses(t *testing.T) {
+	l := baseCrossLog()
+	if vs := CrossCheck(l, CrossOptions{}); len(vs) != 0 {
+		t.Fatalf("clean log flagged: %v", vs)
+	}
+	if vs := CrossCheck(l, CrossOptions{Converged: true}); len(vs) != 0 {
+		t.Fatalf("clean converged log flagged: %v", vs)
+	}
+}
+
+// TestCrossSwappedDeliveriesDetected is the mutation self-test of the
+// acceptance criteria: swapping two cross-shard deliveries on one node
+// must be flagged. The swap moves the keys but keeps the positional turns
+// (the node's buggy merge really emitted them at those turns), which is
+// what a broken interleave looks like on the wire.
+func TestCrossSwappedDeliveriesDetected(t *testing.T) {
+	l := baseCrossLog()
+	ds := l["2"].Deliveries
+	ds[1].Key, ds[3].Key = ds[3].Key, ds[1].Key // node 2 swaps "b" and "d"
+
+	vs := CrossCheck(l, CrossOptions{Converged: true})
+	expectViolation(t, vs, "cross-order")
+	expectViolation(t, vs, "cross-turn-agreement")
+	expectViolation(t, vs, "cross-completeness")
+}
+
+// TestCrossSwappedWholeEntriesDetected swaps the full delivery records —
+// keys and turns travel together — which breaks per-node turn
+// monotonicity and is caught without any convergence assumption.
+func TestCrossSwappedWholeEntriesDetected(t *testing.T) {
+	l := baseCrossLog()
+	ds := l["2"].Deliveries
+	ds[1], ds[3] = ds[3], ds[1]
+	expectViolation(t, CrossCheck(l, CrossOptions{}), "cross-turn-order")
+}
+
+func TestCrossDuplicateDetected(t *testing.T) {
+	l := baseCrossLog()
+	nl := l["1"]
+	// A multi-shard message emitted once per copy instead of once total.
+	nl.Deliver("c", 0, 6, 2)
+	expectViolation(t, CrossCheck(l, CrossOptions{}), "cross-duplicate")
+}
+
+func TestCrossTurnRegressionDetected(t *testing.T) {
+	l := baseCrossLog()
+	l["3"].Deliver("f", 0, 2, 1) // turn 2 after turn 5
+	expectViolation(t, CrossCheck(l, CrossOptions{}), "cross-turn-order")
+}
+
+func TestCrossMissingDeliveryConvergedOnly(t *testing.T) {
+	l := baseCrossLog()
+	nl := l["2"]
+	nl.Deliveries = nl.Deliveries[:4] // node 2 never emitted "e"
+	if vs := CrossCheck(l, CrossOptions{}); len(vs) != 0 {
+		t.Fatalf("incomplete log flagged without convergence: %v", vs)
+	}
+	expectViolation(t, CrossCheck(l, CrossOptions{Converged: true}), "cross-completeness")
+}
+
+func TestCrossCrashedNodeWaivesCompleteness(t *testing.T) {
+	l := baseCrossLog()
+	nl := l["2"]
+	nl.Deliveries = nl.Deliveries[:4]
+	nl.Crashed = true
+	if vs := CrossCheck(l, CrossOptions{Converged: true}); len(vs) != 0 {
+		t.Fatalf("crashed node's shorter stream flagged: %v", vs)
+	}
+}
+
+// TestCrossPartitionDivergenceTolerated models an EVS partition: the two
+// sides deliver disjoint suffixes with conflicting turns. Without the
+// convergence assertion that is legitimate and must pass.
+func TestCrossPartitionDivergenceTolerated(t *testing.T) {
+	l := CrossLog{}
+	for _, name := range []string{"1", "2"} {
+		nl := l.Node(name)
+		nl.Deliver("a", 0, 0, 1)
+		nl.Deliver("b", 1, 1, 1)
+	}
+	// Partition: side 1 orders x then y, side 2 only z — different turns
+	// for different messages.
+	l["1"].Deliver("x", 0, 2, 1)
+	l["1"].Deliver("y", 1, 3, 1)
+	l["2"].Deliver("z", 0, 2, 1)
+	if vs := CrossCheck(l, CrossOptions{}); len(vs) != 0 {
+		t.Fatalf("partition divergence flagged: %v", vs)
+	}
+	// The same history asserted converged is a contradiction.
+	vs := CrossCheck(l, CrossOptions{Converged: true})
+	expectViolation(t, vs, "cross-completeness")
+}
+
+// TestCrossOrderScopedToAgreedTurns: outside converged runs the pairwise
+// order check must only bind messages whose merge turns both nodes agree
+// on. A full reordering whose turns all disagree is exactly what partition
+// divergence produces — tolerated without the convergence assertion,
+// flagged with it.
+func TestCrossOrderScopedToAgreedTurns(t *testing.T) {
+	l := CrossLog{}
+	a := l.Node("1")
+	a.Deliver("p", 0, 0, 1)
+	a.Deliver("m", 0, 2, 1)
+	a.Deliver("q", 0, 4, 1)
+	b := l.Node("2")
+	b.Deliver("q", 0, 1, 1)
+	b.Deliver("m", 0, 3, 1)
+	b.Deliver("p", 0, 5, 1)
+	// Every common message carries different turns on the two nodes, so
+	// the agreed subsequence is empty: nothing to flag.
+	if vs := CrossCheck(l, CrossOptions{}); len(vs) != 0 {
+		t.Fatalf("turn-disagreeing reorder flagged without convergence: %v", vs)
+	}
+	// Asserted converged, the same reversal must be caught as an order
+	// violation (not just as turn disagreement).
+	expectViolation(t, CrossCheck(l, CrossOptions{Converged: true}), "cross-order")
+}

@@ -1,0 +1,151 @@
+package multiring
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"accelring/internal/wire"
+)
+
+func TestMessageEnvelopeRoundTrip(t *testing.T) {
+	key := MsgKey{Sender: 0xDEADBEEF, Seq: 0x1122334455667788}
+	groups := []string{"orders", "users", strings.Repeat("g", wire.MaxGroupName)}
+	payload := []byte("the application payload, opaque to the router")
+
+	env, err := AppendMessageEnvelope(nil, key, 3, groups, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := DecodeEnvelope(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Skip {
+		t.Fatal("message decoded as skip")
+	}
+	if u.Key != key || u.Shards != 3 {
+		t.Fatalf("key/shards mismatch: %+v", u)
+	}
+	if !reflect.DeepEqual(u.Groups, groups) {
+		t.Fatalf("groups = %v, want %v", u.Groups, groups)
+	}
+	if !bytes.Equal(u.Payload, payload) {
+		t.Fatalf("payload mismatch: %q", u.Payload)
+	}
+}
+
+func TestMessageEnvelopeEmptyPayload(t *testing.T) {
+	env, err := AppendMessageEnvelope(nil, MsgKey{Sender: 1, Seq: 1}, 1, []string{"g"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := DecodeEnvelope(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Payload) != 0 {
+		t.Fatalf("payload = %q, want empty", u.Payload)
+	}
+}
+
+func TestSkipEnvelopeRoundTrip(t *testing.T) {
+	key := MsgKey{Sender: 42, Seq: 7}
+	env, err := AppendSkipEnvelope(nil, key, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env) != envSkipLen {
+		t.Fatalf("skip envelope is %d bytes, want %d", len(env), envSkipLen)
+	}
+	u, err := DecodeEnvelope(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Skip || u.SkipCount != 1024 || u.Key != key {
+		t.Fatalf("skip decoded as %+v", u)
+	}
+}
+
+func TestAppendEnvelopeRejects(t *testing.T) {
+	key := MsgKey{Sender: 1, Seq: 1}
+	long := strings.Repeat("x", wire.MaxGroupName+1)
+	many := make([]string, wire.MaxGroups+1)
+	for i := range many {
+		many[i] = "g"
+	}
+	cases := []struct {
+		name   string
+		shards int
+		groups []string
+	}{
+		{"zero shards", 0, []string{"g"}},
+		{"too many shards", 256, []string{"g"}},
+		{"no groups", 1, nil},
+		{"too many groups", 1, many},
+		{"empty group name", 1, []string{""}},
+		{"oversized group name", 1, []string{long}},
+	}
+	for _, tc := range cases {
+		if _, err := AppendMessageEnvelope(nil, key, tc.shards, tc.groups, nil); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+	if _, err := AppendSkipEnvelope(nil, key, 0); err == nil {
+		t.Error("zero skip count: no error")
+	}
+}
+
+func TestDecodeEnvelopeRejects(t *testing.T) {
+	good, err := AppendMessageEnvelope(nil, MsgKey{Sender: 1, Seq: 1}, 1, []string{"group"}, []byte("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	skipEnv, _ := AppendSkipEnvelope(nil, MsgKey{Sender: 1, Seq: 2}, 3)
+
+	badMagic := append([]byte(nil), good...)
+	badMagic[0] = 0x00
+	badKind := append([]byte(nil), good...)
+	badKind[1] = 9
+	zeroShards := append([]byte(nil), good...)
+	zeroShards[2] = 0
+	truncGroup := good[:envMsgHeader+2] // group length says 5, two bytes follow
+	shortSkip := skipEnv[:envSkipLen-1]
+	zeroSkip := append([]byte(nil), skipEnv...)
+	zeroSkip[2], zeroSkip[3], zeroSkip[4], zeroSkip[5] = 0, 0, 0, 0
+
+	cases := []struct {
+		name string
+		pkt  []byte
+	}{
+		{"empty", nil},
+		{"one byte", []byte{envMagic}},
+		{"bad magic", badMagic},
+		{"bad kind", badKind},
+		{"zero shards", zeroShards},
+		{"truncated header", good[:envMsgHeader-1]},
+		{"truncated group", truncGroup},
+		{"short skip", shortSkip},
+		{"zero skip count", zeroSkip},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeEnvelope(tc.pkt); !errors.Is(err, ErrBadEnvelope) {
+			t.Errorf("%s: err = %v, want ErrBadEnvelope", tc.name, err)
+		}
+	}
+}
+
+func TestEnvelopeOverheadBudget(t *testing.T) {
+	// The documented worst case for a single-group message must hold, so
+	// callers can budget payloads against wire.MaxPayload.
+	g := strings.Repeat("n", wire.MaxGroupName)
+	env, err := AppendMessageEnvelope(nil, MsgKey{Sender: 1, Seq: 1}, 1, []string{g}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env) != EnvelopeOverhead {
+		t.Fatalf("worst-case single-group envelope is %d bytes, constant says %d", len(env), EnvelopeOverhead)
+	}
+}

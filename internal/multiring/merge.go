@@ -1,0 +1,235 @@
+// Package multiring partitions the group namespace across M independent
+// Accelerated Ring engines and merges their per-ring total orders into one
+// total order across shards.
+//
+// Each ring is a complete protocol instance — its own token, membership,
+// flow control, transport sockets and metrics. The router (router.go)
+// hashes destination groups onto rings, so a message only occupies
+// ordering capacity on the rings it addresses (FlexCast's genuineness
+// principle), and a deterministic merge layer (this file) interleaves the
+// per-ring delivery streams round-robin into a single cross-shard order.
+// Because the merge is a pure function of the per-ring sequences — never
+// of arrival timing — every node that consumes the same per-ring streams
+// produces the identical merged stream, which is what makes the result a
+// total order rather than M unrelated ones.
+//
+// An idle ring would stall the round-robin at its turn, so the skip-leader
+// node multicasts skip units on starved rings (Multi-Ring Paxos's
+// round-robin-with-skip, "Stretching Multi-Ring Paxos"). A skip is an
+// ordinary ordered message on its ring, so all nodes agree on exactly
+// which turns it pads; it carries a count so one message can cover a
+// backlog of turns.
+package multiring
+
+import (
+	"accelring/internal/wire"
+)
+
+// MsgKey globally identifies a routed message: the submitting participant
+// and its submission counter. Copies of a multi-shard message on different
+// rings share the key; the merger uses it to emit the message exactly once.
+type MsgKey struct {
+	Sender wire.ParticipantID
+	Seq    uint64
+}
+
+// Unit is one slot of a ring's ordered unit stream: every data message
+// delivered on a multiring ring is exactly one unit, either an application
+// message or a skip. The merge consumes one unit (or one skip credit) per
+// turn of its ring.
+type Unit struct {
+	// Skip marks a padding unit; SkipCount is the number of merge turns it
+	// covers (minimum 1). The message fields below are then unused.
+	Skip      bool
+	SkipCount uint32
+
+	// Key identifies the message across rings.
+	Key MsgKey
+	// Shards is the number of rings the message was submitted to. The
+	// merger emits the message when the last copy reaches its turn.
+	Shards int
+	// Groups are the destination groups.
+	Groups []string
+	// Service is the delivery guarantee the message was submitted with.
+	Service wire.Service
+	// Payload is the application payload.
+	Payload []byte
+}
+
+// Merged is one emission of the merge layer: a message unit plus its merge
+// coordinates.
+type Merged struct {
+	Unit
+	// Ring is the ring whose copy completed the message (for single-shard
+	// messages, the ring it was ordered on).
+	Ring int
+	// Turn is the global merge turn at which the message was emitted.
+	// Turns increase strictly within one node's merged stream, and two
+	// nodes that consumed identical per-ring streams assign identical
+	// turns — the cross-ring conformance checker is built on this.
+	Turn uint64
+}
+
+// fifo is an amortized O(1) pop-front queue of units.
+type fifo struct {
+	buf  []Unit
+	head int
+}
+
+func (q *fifo) push(u Unit) { q.buf = append(q.buf, u) }
+
+func (q *fifo) len() int { return len(q.buf) - q.head }
+
+func (q *fifo) pop() (Unit, bool) {
+	if q.head >= len(q.buf) {
+		return Unit{}, false
+	}
+	u := q.buf[q.head]
+	q.buf[q.head] = Unit{} // release references
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return u, true
+}
+
+// Merger deterministically interleaves M per-ring unit streams. It is not
+// safe for concurrent use; the router owns one on its merge goroutine.
+//
+// The merge rule: global turn t belongs to ring t mod M. At its turn a
+// ring consumes one unit of skip credit if it has any; otherwise it
+// consumes its next queued unit — a skip unit grants SkipCount-1 further
+// credits, a message unit is emitted (multi-shard messages on the turn of
+// their last copy). A ring with neither credit nor a queued unit stalls
+// the merge until input arrives or a skip is ordered on it.
+type Merger struct {
+	rings   int
+	queues  []fifo
+	credit  []uint64
+	turn    uint64
+	pending map[MsgKey]int
+}
+
+// NewMerger builds a merger over the given number of rings.
+func NewMerger(rings int) *Merger {
+	if rings <= 0 {
+		panic("multiring: merger needs at least one ring")
+	}
+	return &Merger{
+		rings:   rings,
+		queues:  make([]fifo, rings),
+		credit:  make([]uint64, rings),
+		pending: make(map[MsgKey]int),
+	}
+}
+
+// Rings returns the number of rings the merger interleaves.
+func (m *Merger) Rings() int { return m.rings }
+
+// Turn returns the current global merge turn (the next turn to consume).
+func (m *Merger) Turn() uint64 { return m.turn }
+
+// Push appends one unit to a ring's stream. Units of one ring must be
+// pushed in that ring's delivery order; interleaving across rings is
+// irrelevant to the merged output.
+func (m *Merger) Push(ring int, u Unit) {
+	m.queues[ring].push(u)
+}
+
+// Next pops the next merged message if the merge can advance without
+// waiting for input, consuming skip units and credits along the way.
+func (m *Merger) Next() (Merged, bool) {
+	for {
+		r := int(m.turn % uint64(m.rings))
+		if m.credit[r] > 0 {
+			m.credit[r]--
+			m.turn++
+			continue
+		}
+		u, ok := m.queues[r].pop()
+		if !ok {
+			return Merged{}, false
+		}
+		t := m.turn
+		m.turn++
+		if u.Skip {
+			if u.SkipCount > 1 {
+				m.credit[r] += uint64(u.SkipCount - 1)
+			}
+			continue
+		}
+		if u.Shards > 1 {
+			seen := m.pending[u.Key] + 1
+			if seen < u.Shards {
+				m.pending[u.Key] = seen
+				continue
+			}
+			delete(m.pending, u.Key)
+		}
+		return Merged{Unit: u, Ring: r, Turn: t}, true
+	}
+}
+
+// Starved returns the rings the merge is waiting on — no queued unit and
+// no skip credit — while at least one other ring has units queued. The
+// skip leader answers a starved ring with a skip unit. When every queue is
+// empty the merge is idle, not starved, and the result is empty: skipping
+// then would only breed skips (each skip is itself a queued unit on
+// arrival, starving the other rings in turn).
+func (m *Merger) Starved() []int {
+	busy := false
+	for i := range m.queues {
+		if m.queues[i].len() > 0 {
+			busy = true
+			break
+		}
+	}
+	if !busy {
+		return nil
+	}
+	var out []int
+	for i := range m.queues {
+		if m.queues[i].len() == 0 && m.credit[i] == 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Backlog returns the largest queued unit count across rings — the skip
+// batch size that would let the merge drain the busiest ring without
+// another skip round-trip.
+func (m *Merger) Backlog() int {
+	max := 0
+	for i := range m.queues {
+		if n := m.queues[i].len(); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// QueueLen returns the number of units queued for one ring.
+func (m *Merger) QueueLen(ring int) int { return m.queues[ring].len() }
+
+// PendingMultiShard returns the number of multi-shard messages waiting for
+// copies on further rings.
+func (m *Merger) PendingMultiShard() int { return len(m.pending) }
+
+// ShardOf maps a group name onto one of rings shards (FNV-1a). Every node
+// must agree on the mapping, so it is a pure function of the name and the
+// ring count.
+func ShardOf(group string, rings int) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(group); i++ {
+		h ^= uint32(group[i])
+		h *= prime32
+	}
+	return int(h % uint32(rings))
+}

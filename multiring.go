@@ -1,0 +1,226 @@
+package accelring
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"accelring/internal/multiring"
+	"accelring/internal/wire"
+)
+
+// Multi-ring sharding: one token ring saturates at wire speed, so
+// production scale partitions the group namespace across M independent
+// Accelerated Rings — each with its own token, membership, flow control,
+// transport sockets and metrics — and a deterministic merge layer
+// (internal/multiring) interleaves the per-ring delivery streams
+// round-robin, with skip units on idle rings, into a single total order
+// across shards.
+
+// Public aliases so applications never import internal packages.
+type (
+	// ShardEvent is a merged-stream occurrence: a ShardMessage or a
+	// ShardConfigChange.
+	ShardEvent = multiring.Event
+	// ShardMessage is one message of the merged cross-shard total order.
+	ShardMessage = multiring.Delivery
+	// ShardConfigChange reports a membership change on one ring; it is
+	// forwarded as it happens and is not part of the cross-shard order.
+	ShardConfigChange = multiring.ConfigUpdate
+	// RouterSnapshot is the merge layer's counter snapshot.
+	RouterSnapshot = multiring.Snapshot
+	// ShardUnit is one decoded unit of a single ring's ordered stream — an
+	// application message or a skip — as seen by the merge layer's taps.
+	ShardUnit = multiring.Unit
+)
+
+// ShardOf maps a group name onto one of rings shards. It is the pure
+// function every node uses for routing, so a group's shard depends only on
+// its name and the ring count.
+func ShardOf(group string, rings int) int { return multiring.ShardOf(group, rings) }
+
+// MultiOptions configures a multi-ring node.
+type MultiOptions struct {
+	// Node is the per-ring node template: ID, Members, Protocol, Windows,
+	// timers and EventBuffer apply to every ring. Node.Transport is
+	// ignored — each ring binds its own entry of RingTransports.
+	Node Options
+	// RingTransports supplies one transport per ring, in shard order:
+	// memnet endpoints from per-ring hubs, udpnet transports on per-ring
+	// port sets, or any mix. Required, at least one.
+	RingTransports []Transport
+	// SkipInterval is the merge layer's starvation poll period (default
+	// 2ms): an idle ring stalls the cross-shard order for at most about
+	// one interval plus that ring's ordering latency.
+	SkipInterval time.Duration
+	// SkipSubmit overrides skip leadership. Nil selects the default: this
+	// node leads iff it has the lowest ID in Node.Members (with dynamic
+	// membership, every node leads; extra skips are harmless padding).
+	SkipSubmit *bool
+	// EventBuffer is the merged output channel capacity (default 4096).
+	EventBuffer int
+	// OnUnit, when non-nil, observes every decoded unit of every ring in
+	// that ring's delivery order, before merging — the hook the cross-ring
+	// conformance harness builds exact per-ring logs on. Called on the
+	// merge goroutine; keep it fast.
+	OnUnit func(ring int, u ShardUnit)
+	// OnConfig, when non-nil, observes per-ring configuration events in
+	// order, on the merge goroutine.
+	OnConfig func(ev ShardConfigChange)
+}
+
+// MultiNode is a participant in M rings at once, exposing their merged
+// total order. Every node of the deployment must run the same ring count
+// over pairwise-matching transports.
+type MultiNode struct {
+	id     ParticipantID
+	nodes  []*Node
+	router *multiring.Router
+
+	fwdWG     sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// StartMulti creates the per-ring nodes and begins merged operation.
+func StartMulti(opts MultiOptions) (*MultiNode, error) {
+	if len(opts.RingTransports) == 0 {
+		return nil, errors.New("accelring: MultiOptions.RingTransports is required")
+	}
+	for i, tr := range opts.RingTransports {
+		if tr == nil {
+			return nil, fmt.Errorf("accelring: RingTransports[%d] is nil", i)
+		}
+	}
+
+	nodes := make([]*Node, 0, len(opts.RingTransports))
+	fail := func(err error) (*MultiNode, error) {
+		for _, n := range nodes {
+			n.Close()
+		}
+		return nil, err
+	}
+	for i, tr := range opts.RingTransports {
+		ringOpts := opts.Node
+		ringOpts.Transport = tr
+		n, err := Start(ringOpts)
+		if err != nil {
+			return fail(fmt.Errorf("accelring: starting ring %d: %w", i, err))
+		}
+		nodes = append(nodes, n)
+	}
+
+	skipSubmit := true
+	if opts.SkipSubmit != nil {
+		skipSubmit = *opts.SkipSubmit
+	} else if len(opts.Node.Members) > 0 {
+		for _, m := range opts.Node.Members {
+			if m < opts.Node.ID {
+				skipSubmit = false
+				break
+			}
+		}
+	}
+
+	mn := &MultiNode{id: opts.Node.ID, nodes: nodes}
+
+	// One muxed event channel: a forwarder per ring translates its node's
+	// events in order; the router consumes the mux on its merge goroutine.
+	mux := make(chan multiring.TaggedEvent, 256)
+	handles := make([]multiring.RingHandle, len(nodes))
+	for i, n := range nodes {
+		handles[i] = multiring.RingHandle{Submit: n.Submit}
+	}
+	router, err := multiring.NewRouter(multiring.Options{
+		Rings:        handles,
+		Events:       mux,
+		LocalID:      wire.ParticipantID(opts.Node.ID),
+		SubmitSkips:  skipSubmit,
+		SkipInterval: opts.SkipInterval,
+		EventBuffer:  opts.EventBuffer,
+		OnUnit:       opts.OnUnit,
+		OnConfig:     opts.OnConfig,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	mn.router = router
+
+	for i, n := range nodes {
+		mn.fwdWG.Add(1)
+		go mn.forward(i, n, mux)
+	}
+	go func() {
+		mn.fwdWG.Wait()
+		close(mux)
+	}()
+	return mn, nil
+}
+
+// forward translates one ring's events into tagged router input, in that
+// ring's delivery order. It exits when the ring's event channel closes or
+// the router stops consuming.
+func (mn *MultiNode) forward(ring int, n *Node, mux chan<- multiring.TaggedEvent) {
+	defer mn.fwdWG.Done()
+	for ev := range n.Events() {
+		var re multiring.RingEvent
+		switch e := ev.(type) {
+		case Message:
+			re = multiring.RingEvent{Sender: e.Sender, Service: e.Service, Payload: e.Payload}
+		case ConfigChange:
+			re = multiring.RingEvent{
+				Config:       true,
+				ID:           e.Config.ID,
+				Members:      e.Config.Members,
+				Transitional: e.Transitional,
+			}
+		default:
+			continue
+		}
+		select {
+		case mux <- multiring.TaggedEvent{Ring: ring, Event: re}:
+		case <-mn.router.Done():
+			return
+		}
+	}
+}
+
+// ID returns this participant's ID.
+func (mn *MultiNode) ID() ParticipantID { return mn.id }
+
+// Rings returns the number of rings (shards).
+func (mn *MultiNode) Rings() int { return len(mn.nodes) }
+
+// Ring returns the underlying single-ring node for shard i — an escape
+// hatch for per-ring inspection; submitting through it bypasses the merge
+// envelope and corrupts the merged stream.
+func (mn *MultiNode) Ring(i int) *Node { return mn.nodes[i] }
+
+// Events returns the merged cross-shard stream of ordered messages and
+// per-ring membership changes. The channel is closed on shutdown.
+func (mn *MultiNode) Events() <-chan ShardEvent { return mn.router.Events() }
+
+// Submit routes one message to its destination groups' shards (one copy
+// per addressed ring; unaddressed rings are not involved) for totally
+// ordered cross-shard delivery.
+func (mn *MultiNode) Submit(groups []string, payload []byte, service Service) error {
+	return mn.router.Submit(groups, payload, service)
+}
+
+// SubmitShard routes one message to an explicit shard, bypassing the
+// group hash.
+func (mn *MultiNode) SubmitShard(ring int, group string, payload []byte, service Service) error {
+	return mn.router.SubmitShard(ring, group, payload, service)
+}
+
+// Close stops the merge layer and every ring.
+func (mn *MultiNode) Close() error {
+	mn.closeOnce.Do(func() {
+		mn.router.Close()
+		for _, n := range mn.nodes {
+			n.Close()
+		}
+		mn.fwdWG.Wait()
+	})
+	return nil
+}
