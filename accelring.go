@@ -189,6 +189,10 @@ type Node struct {
 	mu      sync.Mutex
 	errs    []error // ring of recent protocol-loop errors
 	errHead int     // index of the oldest entry once the ring is full
+	// fanoutSrc, when attached, contributes a client fan-out tier
+	// snapshot to Metrics (daemon deployments attach their tier here so
+	// one snapshot carries the whole serving path).
+	fanoutSrc FanoutSource
 }
 
 type submitReq struct {

@@ -32,6 +32,7 @@ import (
 
 	"accelring"
 	"accelring/internal/daemon"
+	"accelring/internal/fanout"
 )
 
 const (
@@ -56,6 +57,8 @@ func run() int {
 	pack := flag.Int("pack", 1350, "message packing threshold in bytes (0 disables); small client messages sharing a service are packed into one protocol packet")
 	verbose := flag.Bool("verbose", false, "log protocol state transitions and configuration installs")
 	adaptive := flag.Bool("adaptive-window", false, "adapt the accelerated window automatically (AIMD) instead of hand-tuning")
+	fanoutPolicy := flag.String("fanout-policy", "disconnect", "slow-client backpressure policy: disconnect, shed or block")
+	fanoutQueue := flag.Int("fanout-queue", 0, "per-client delivery queue depth in frames (0 = default 8192)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "ringd: ", log.LstdFlags|log.Lmicroseconds)
@@ -94,6 +97,11 @@ func run() int {
 		logger.Printf("unknown -protocol %q", *protoFlag)
 		return 2
 	}
+	policy, err := fanout.ParsePolicy(*fanoutPolicy)
+	if err != nil {
+		logger.Printf("bad -fanout-policy: %v", err)
+		return 2
+	}
 
 	tr, err := accelring.NewUDPTransport(accelring.UDPOptions{
 		ID:             accelring.ParticipantID(*id),
@@ -129,13 +137,18 @@ func run() int {
 		node.Close()
 		return 1
 	}
-	d, err := daemon.New(daemon.Config{Node: node, Listener: ln, Logger: logger})
+	d, err := daemon.New(daemon.Config{
+		Node:     node,
+		Listener: ln,
+		Logger:   logger,
+		Fanout:   fanout.Config{QueueDepth: *fanoutQueue, Policy: policy},
+	})
 	if err != nil {
 		logger.Print(err)
 		node.Close()
 		return 1
 	}
-	logger.Printf("daemon %d serving on %s (protocol %s)", *id, *socket, *protoFlag)
+	logger.Printf("daemon %d serving on %s (protocol %s, fanout policy %s)", *id, *socket, *protoFlag, policy)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -9,6 +9,19 @@
 // Example, 8 daemons each with one sender at 100 Mbps aggregate / 8:
 //
 //	ringload -socket /tmp/ringd.sock -name probe1 -rate 1157 -size 1350 -duration 10s -service agreed
+//
+// With -mock-clients N it instead benchmarks the daemon's client fan-out
+// tier at serving scale: it self-hosts a single-node ring plus daemon,
+// connects N raw IPC subscribers spread across -mock-groups groups (each
+// interested in an -interest fraction), optionally forces some of them
+// -slow-factor× too slow, floods the groups at -rate, and reports
+// delivered throughput, healthy-client delivery ratio and shed counts —
+// optionally sweeping client counts and interest fractions into a JSON
+// benchmark file:
+//
+//	ringload -mock-clients 10000 -mock-groups 64 -interest 0.25 \
+//	    -slow-clients 1 -slow-factor 100 -fanout-policy shed \
+//	    -rate 2000 -duration 10s -bench-json BENCH_fanout.json
 package main
 
 import (
@@ -37,9 +50,38 @@ func run() int {
 	duration := flag.Duration("duration", 10*time.Second, "measurement duration")
 	serviceFlag := flag.String("service", "agreed", "delivery service: fifo, causal, agreed or safe")
 	recvOnly := flag.Bool("recv-only", false, "only receive and count; inject nothing")
+	mockClients := flag.Int("mock-clients", 0, "fan-out mode: number of mock subscriber clients (0 = classic load mode)")
+	mockGroups := flag.Int("mock-groups", 16, "fan-out mode: number of groups")
+	interest := flag.Float64("interest", 0.25, "fan-out mode: fraction of groups each mock client subscribes to")
+	slowClients := flag.Int("slow-clients", 0, "fan-out mode: how many mock clients read too slowly")
+	slowFactor := flag.Int("slow-factor", 100, "fan-out mode: how many times too slow the slow clients read")
+	fanoutPolicy := flag.String("fanout-policy", "shed", "fan-out mode: backpressure policy (disconnect, shed, block)")
+	fanoutQueue := flag.Int("fanout-queue", 0, "fan-out mode: per-client delivery queue depth (0 = default)")
+	benchJSON := flag.String("bench-json", "", "fan-out mode: write scenario results to this JSON file")
+	sweepClients := flag.String("sweep-clients", "", "fan-out mode: comma-separated client counts to sweep (overrides -mock-clients after the first)")
+	sweepInterest := flag.String("sweep-interest", "", "fan-out mode: comma-separated interest fractions to sweep")
+	requireHealthy := flag.Float64("require-healthy", 0, "fan-out mode: fail unless every scenario's healthy delivery ratio reaches this (e.g. 0.99)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "ringload: ", log.LstdFlags)
+	if *mockClients > 0 || *sweepClients != "" {
+		return runFanout(logger, fanoutOpts{
+			clients:        *mockClients,
+			groups:         *mockGroups,
+			interest:       *interest,
+			slowClients:    *slowClients,
+			slowFactor:     *slowFactor,
+			policy:         *fanoutPolicy,
+			queue:          *fanoutQueue,
+			rate:           *rate,
+			size:           *size,
+			duration:       *duration,
+			benchJSON:      *benchJSON,
+			sweepClients:   *sweepClients,
+			sweepInterest:  *sweepInterest,
+			requireHealthy: *requireHealthy,
+		})
+	}
 	if *size < 16 {
 		logger.Print("-size must be at least 16")
 		return 2

@@ -9,8 +9,13 @@
 // matching a multi-ring cluster laid out the same way, and reports the
 // merged cross-shard order plus per-ring breakdowns.
 //
+// With -sockets it instead polls local daemons over their IPC sockets for
+// serving-side statistics — sessions, subscriptions, fan-out shedding —
+// without joining the ring at all.
+//
 //	ringmon -id 99 -peers 1=10.0.0.1,2=10.0.0.2,99=10.0.0.9 -interval 2s
 //	ringmon -id 99 -rings 4 -peers 1=10.0.0.1,99=10.0.0.9
+//	ringmon -sockets /tmp/ringd1.sock,/tmp/ringd2.sock -interval 2s
 package main
 
 import (
@@ -38,9 +43,23 @@ func run() int {
 	mcast := flag.String("mcast", "239.192.74.11:7410", "data multicast group; empty emulates multicast")
 	interval := flag.Duration("interval", 2*time.Second, "statistics reporting interval")
 	rings := flag.Int("rings", 1, "ring (shard) count; ring r strides every port by +2r")
+	socketsFlag := flag.String("sockets", "", "comma-separated daemon IPC sockets to poll for serving-side stats instead of joining the ring")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "ringmon: ", log.LstdFlags)
+	if *socketsFlag != "" {
+		var sockets []string
+		for _, s := range strings.Split(*socketsFlag, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				sockets = append(sockets, s)
+			}
+		}
+		if len(sockets) == 0 {
+			logger.Print("empty -sockets")
+			return 2
+		}
+		return runSockets(logger, sockets, *interval)
+	}
 	peers, err := parsePeers(*peersFlag)
 	if err != nil {
 		logger.Print(err)

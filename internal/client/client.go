@@ -78,6 +78,17 @@ func Connect(network, addr, name string) (*Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
+	return New(conn, name)
+}
+
+// New registers under the given name over an already established
+// connection (an in-memory pipe, a pre-dialed socket) and takes ownership
+// of it. On error the connection is closed.
+func New(conn net.Conn, name string) (*Conn, error) {
+	if name == "" {
+		conn.Close()
+		return nil, errors.New("client: empty name")
+	}
 	if err := ipc.WriteFrame(conn, ipc.CmdConnect, ipc.PutString(nil, name)); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("client: connect frame: %w", err)
@@ -125,6 +136,23 @@ func (c *Conn) Join(group string) error {
 // Leave unsubscribes this client from a group.
 func (c *Conn) Leave(group string) error {
 	return c.sendFrame(ipc.CmdLeave, ipc.PutString(nil, group))
+}
+
+// Subscribe registers local delivery interest in a group's ordered
+// message stream without joining the group: this client receives every
+// message addressed to the group, in the same total order as the
+// members, but never appears in its membership views and adds no ring
+// traffic. Subscriptions are daemon-local, so at serving scale a large
+// read-only audience costs the ring nothing — use Join only when the
+// other members must know you are there.
+func (c *Conn) Subscribe(group string) error {
+	return c.sendFrame(ipc.CmdSubscribe, ipc.PutString(nil, group))
+}
+
+// Unsubscribe withdraws a Subscribe. A concurrent membership of the same
+// group (via Join) keeps delivering.
+func (c *Conn) Unsubscribe(group string) error {
+	return c.sendFrame(ipc.CmdUnsubscribe, ipc.PutString(nil, group))
 }
 
 // MulticastOptions modify a multicast.

@@ -2,14 +2,17 @@ package daemon
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"accelring"
+	"accelring/internal/fanout"
 	"accelring/internal/ipc"
 	"accelring/internal/wire"
 )
@@ -25,6 +28,11 @@ type Config struct {
 	Listener net.Listener
 	// Logger receives operational messages; nil disables logging.
 	Logger *log.Logger
+	// Fanout configures the client delivery tier: per-client queue depth
+	// and the backpressure policy applied to slow clients. The zero value
+	// selects 8192-frame queues with the disconnect policy, the classic
+	// Spread-style behavior.
+	Fanout fanout.Config
 }
 
 // Daemon serves local clients, ordering their messages and group
@@ -43,14 +51,17 @@ type Daemon struct {
 	stopOnce sync.Once
 	stopCh   chan struct{}
 
+	// tier is the client delivery tier: interest registry, bounded
+	// per-client queues, backpressure policy. Registration and publishing
+	// are driven from the main loop; the tier's writer goroutines drain
+	// the queues.
+	tier *fanout.Tier
+
 	// state owned by the main loop
 	sessions map[*session]bool
 	groups   map[string][]string // group → sorted private member names
 	local    map[string]*session // private member name → session
 	ring     accelring.Configuration
-	// routed is routeApp's dedup scratch, cleared and reused per message
-	// so the per-delivery hot path does not allocate a map.
-	routed map[*session]bool
 }
 
 type request struct {
@@ -68,6 +79,7 @@ func New(cfg Config) (*Daemon, error) {
 		node:     cfg.Node,
 		ln:       cfg.Listener,
 		log:      cfg.Logger,
+		tier:     fanout.NewTier(cfg.Fanout),
 		reqCh:    make(chan request, 256),
 		unregCh:  make(chan *session, 16),
 		stopCh:   make(chan struct{}),
@@ -75,6 +87,7 @@ func New(cfg Config) (*Daemon, error) {
 		groups:   make(map[string][]string),
 		local:    make(map[string]*session),
 	}
+	cfg.Node.AttachFanout(d.tier)
 	d.wg.Add(2)
 	go d.acceptLoop()
 	go d.mainLoop()
@@ -115,7 +128,21 @@ func (d *Daemon) acceptLoop() {
 	for {
 		conn, err := d.ln.Accept()
 		if err != nil {
-			return // listener closed
+			if errors.Is(err, net.ErrClosed) {
+				return // listener closed, daemon shutting down
+			}
+			select {
+			case <-d.stopCh:
+				return
+			default:
+			}
+			// Transient accept failure — EMFILE under a connect burst,
+			// ECONNABORTED from a dial that gave up in the backlog. The
+			// listener is still valid: back off briefly and keep serving,
+			// otherwise every dial queued behind the failure hangs forever.
+			d.logf("accept: %v (retrying)", err)
+			time.Sleep(10 * time.Millisecond)
+			continue
 		}
 		s := newSession(d, conn)
 		d.wg.Add(1)
@@ -192,6 +219,24 @@ func (d *Daemon) applyRequest(req request) {
 		if err := d.node.Submit(p.encode(typ), accelring.Agreed); err != nil {
 			d.logf("daemon: submit membership: %v", err)
 		}
+	case ipc.CmdSubscribe, ipc.CmdUnsubscribe:
+		// Local-only interest in a group's ordered stream: no ring
+		// traffic, no membership views — the scalable path for large
+		// read-only audiences.
+		if s.member == "" {
+			s.close()
+			return
+		}
+		group, _, err := ipc.GetString(req.body)
+		if err != nil || group == "" || len(group) > wire.MaxGroupName {
+			s.close()
+			return
+		}
+		if req.typ == ipc.CmdSubscribe {
+			d.tier.Subscribe(s.sub, group, fanout.SourceExplicit)
+		} else {
+			d.tier.Unsubscribe(s.sub, group, fanout.SourceExplicit)
+		}
 	case ipc.CmdMulticast:
 		if s.member == "" {
 			s.close()
@@ -237,20 +282,44 @@ func (d *Daemon) applyRequest(req request) {
 	}
 }
 
+// statsClientCap bounds the per-client detail in one stats snapshot: a
+// ~100-byte entry per client times tens of thousands of sessions would
+// exceed the IPC frame limit and sever the requesting client. Past the
+// cap, only the aggregate tier counters are reported.
+const statsClientCap = 256
+
 // encodeStats assembles the daemon's StatsSnapshot as JSON: client
-// counters, group/session totals, and the ring node's metrics.
+// counters (including each client's fan-out queue state), group/session
+// and subscription totals, and the ring node's metrics.
 func (d *Daemon) encodeStats() []byte {
+	fs := d.tier.Snapshot()
 	snap := ipc.StatsSnapshot{
-		Daemon:   d.node.ID().String(),
-		Sessions: len(d.sessions),
-		Groups:   len(d.groups),
-		Clients:  make(map[string]ipc.ClientStats, len(d.sessions)),
+		Daemon:        d.node.ID().String(),
+		Sessions:      len(d.sessions),
+		Groups:        len(d.groups),
+		Subscriptions: fs.Subscriptions,
+		Shed:          fs.Shed,
+		Disconnects:   fs.Disconnects,
+		FanoutPolicy:  fs.Policy,
 	}
-	for s := range d.sessions {
-		if s.member == "" {
-			continue
+	if len(d.sessions) <= statsClientCap {
+		snap.Clients = make(map[string]ipc.ClientStats, len(d.sessions))
+		for s := range d.sessions {
+			if s.member == "" {
+				continue
+			}
+			st := s.sub.Stats()
+			snap.Clients[s.member] = ipc.ClientStats{
+				Submits:       s.submits,
+				Deliveries:    st.Msgs,
+				Shed:          st.Shed,
+				Backlog:       st.Backlog,
+				HighWater:     st.HighWater,
+				Subscriptions: st.Subscriptions,
+			}
 		}
-		snap.Clients[s.member] = ipc.ClientStats{Submits: s.submits, Deliveries: s.deliveries}
+	} else {
+		snap.ClientsOmitted = len(d.sessions)
 	}
 	if node, err := d.node.Metrics(); err == nil {
 		if raw, err := json.Marshal(node); err == nil {
@@ -268,6 +337,9 @@ func (d *Daemon) encodeStats() []byte {
 // dropSession removes a disconnected client, multicasting leaves for every
 // group it belonged to so all daemons converge.
 func (d *Daemon) dropSession(s *session) {
+	// Always withdraw the delivery-tier registration — even a session
+	// that never completed CmdConnect holds one.
+	d.tier.Unregister(s.sub)
 	if !d.sessions[s] && s.member == "" {
 		return
 	}
@@ -326,39 +398,30 @@ func (d *Daemon) applyRingMessage(m accelring.Message) {
 	}
 }
 
-// routeApp delivers an ordered application message to each local client
-// that belongs to any of the destination groups — exactly once, even if it
-// belongs to several. The dedup map is reused scratch; the event body must
-// stay a fresh allocation, because session send queues retain it until the
-// writer goroutine drains them.
+// routeApp hands an ordered application message to the fan-out tier: the
+// frame body is encoded exactly once and routed to every local session
+// interested in any of the destination groups — members and explicit
+// subscribers alike — exactly once per session, with the tier's
+// backpressure policy deciding what happens at full queues. The body must
+// stay a fresh allocation because subscriber queues retain it until their
+// writers drain it.
 func (d *Daemon) routeApp(p *appPayload, svc wire.Service) {
-	if d.routed == nil {
-		d.routed = make(map[*session]bool)
-	}
-	clear(d.routed)
-	delivered := d.routed
 	body := make([]byte, 0, 16+len(p.Sender)+len(p.Payload))
 	body = append(body, byte(svc))
 	body = ipc.PutString(body, p.Sender)
 	body = ipc.PutStrings(body, p.Groups)
 	body = append(body, p.Payload...)
-	for _, group := range p.Groups {
-		for _, member := range d.groups[group] {
-			s := d.local[member]
-			if s == nil || delivered[s] {
-				continue
-			}
-			if p.Flags&flagSelfDiscard != 0 && member == p.Sender {
-				continue
-			}
-			delivered[s] = true
-			s.deliveries++
-			s.send(ipc.EvtMessage, body)
+	var skip *fanout.Subscriber
+	if p.Flags&flagSelfDiscard != 0 {
+		if s := d.local[p.Sender]; s != nil {
+			skip = s.sub
 		}
 	}
+	d.tier.Publish(p.Groups, ipc.EvtMessage, body, skip)
 }
 
-// applyJoin updates a group view and notifies local members.
+// applyJoin updates a group view and notifies local members. A local
+// joiner also gains membership-sourced delivery interest in the tier.
 func (d *Daemon) applyJoin(member, group string) {
 	members := d.groups[group]
 	if containsString(members, member) {
@@ -367,15 +430,23 @@ func (d *Daemon) applyJoin(member, group string) {
 	members = append(members, member)
 	sort.Strings(members)
 	d.groups[group] = members
+	if s := d.local[member]; s != nil {
+		d.tier.Subscribe(s.sub, group, fanout.SourceMember)
+	}
 	d.sendView(group)
 }
 
-// applyLeave updates a group view and notifies local members.
+// applyLeave updates a group view and notifies local members. A local
+// leaver loses its membership-sourced interest; an explicit subscription
+// to the same group, if any, keeps delivering.
 func (d *Daemon) applyLeave(member, group string) {
 	members := d.groups[group]
 	idx := sort.SearchStrings(members, member)
 	if idx >= len(members) || members[idx] != member {
 		return
+	}
+	if s := d.local[member]; s != nil {
+		d.tier.Unsubscribe(s.sub, group, fanout.SourceMember)
 	}
 	members = append(members[:idx], members[idx+1:]...)
 	if len(members) == 0 {

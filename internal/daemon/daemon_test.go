@@ -10,6 +10,7 @@ import (
 
 	"accelring"
 	"accelring/internal/client"
+	"accelring/internal/fanout"
 	"accelring/internal/wire"
 )
 
@@ -29,6 +30,13 @@ func startDaemons(t *testing.T, n int) *cluster {
 // startDaemonsOn starts the cluster on a caller-prepared network, letting
 // fault-injection tests configure loss, duplication and reordering.
 func startDaemonsOn(t *testing.T, n int, net0 *accelring.MemoryNetwork) *cluster {
+	t.Helper()
+	return startDaemonsWith(t, n, net0, fanout.Config{})
+}
+
+// startDaemonsWith additionally configures the client delivery tier, for
+// backpressure-policy tests.
+func startDaemonsWith(t *testing.T, n int, net0 *accelring.MemoryNetwork, fcfg fanout.Config) *cluster {
 	t.Helper()
 	dir := t.TempDir()
 	members := make([]accelring.ParticipantID, 0, n)
@@ -52,7 +60,7 @@ func startDaemonsOn(t *testing.T, n int, net0 *accelring.MemoryNetwork) *cluster
 		if err != nil {
 			t.Fatalf("listen %s: %v", sock, err)
 		}
-		d, err := New(Config{Node: node, Listener: ln})
+		d, err := New(Config{Node: node, Listener: ln, Fanout: fcfg})
 		if err != nil {
 			t.Fatalf("daemon %d: %v", id, err)
 		}

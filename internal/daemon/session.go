@@ -1,52 +1,64 @@
 package daemon
 
 import (
+	"errors"
 	"net"
 	"sync"
 
+	"accelring/internal/fanout"
 	"accelring/internal/ipc"
 )
 
-// sessionQueue is the outbound frame queue depth per client; a client that
-// falls this far behind is disconnected rather than allowed to stall the
-// daemon.
-const sessionQueue = 8192
-
-// session is one connected client.
+// session is one connected client. The read side (readLoop) pumps frames
+// into the daemon's main loop; the write side is a fan-out tier
+// subscriber whose writer goroutine drains the client's bounded delivery
+// queue onto the socket.
 type session struct {
 	d    *Daemon
 	conn net.Conn
+	// sub is this session's delivery-tier handle: its queue, its group
+	// interests, and its shed/backlog counters.
+	sub *fanout.Subscriber
 
-	// member is the client's private name once connected; submits and
-	// deliveries count this client's ring submissions and the ordered
-	// messages delivered to it. All three are owned by the daemon main
+	// member is the client's private name once connected; submits counts
+	// this client's ring submissions. Both are owned by the daemon main
 	// loop.
-	member     string
-	submits    uint64
-	deliveries uint64
+	member  string
+	submits uint64
 
-	out       chan outFrame
 	closeOnce sync.Once
 	closed    chan struct{}
 }
 
-type outFrame struct {
-	typ  byte
-	body []byte
+// ipcSink adapts a net.Conn to the fan-out tier's frame sink.
+type ipcSink struct{ conn net.Conn }
+
+func (k ipcSink) WriteFrame(typ byte, body []byte) error {
+	return ipc.WriteFrame(k.conn, typ, body)
 }
 
 func newSession(d *Daemon, conn net.Conn) *session {
 	s := &session{
 		d:      d,
 		conn:   conn,
-		out:    make(chan outFrame, sessionQueue),
 		closed: make(chan struct{}),
 	}
-	d.wg.Add(1)
-	go func() {
-		defer d.wg.Done()
-		s.writeLoop()
-	}()
+	s.sub = d.tier.Register(ipcSink{conn},
+		// onKill (PolicyDisconnect, synchronous from Publish): sever the
+		// connection so a writer stuck in a blocking socket write exits.
+		func() {
+			d.logf("daemon: disconnecting slow client %s", s.member)
+			s.close()
+		},
+		// onExit (writer stopped): hand the session to the main loop for
+		// teardown. Runs for socket write errors, slow-client kills, and
+		// plain closes alike; dropSession is idempotent.
+		func(err error) {
+			if err != nil && !errors.Is(err, fanout.ErrSlowClient) {
+				d.logf("daemon: client writer: %v", err)
+			}
+			s.unregister()
+		})
 	return s
 }
 
@@ -68,32 +80,11 @@ func (s *session) readLoop() {
 	}
 }
 
-// writeLoop drains the outbound queue onto the socket.
-func (s *session) writeLoop() {
-	for {
-		select {
-		case f := <-s.out:
-			if err := ipc.WriteFrame(s.conn, f.typ, f.body); err != nil {
-				s.unregister()
-				return
-			}
-		case <-s.closed:
-			return
-		}
-	}
-}
-
-// send enqueues a frame for the client; a client too slow to drain its
-// queue is disconnected (ordered delivery to the ring must not block on a
-// stuck client).
+// send enqueues a control frame (welcome, view, stats) for the client.
+// Ordered application messages do not come through here — they are routed
+// by the fan-out tier, which applies the backpressure policy.
 func (s *session) send(typ byte, body []byte) {
-	select {
-	case s.out <- outFrame{typ: typ, body: body}:
-	case <-s.closed:
-	default:
-		s.d.logf("daemon: disconnecting slow client %s", s.member)
-		s.unregister()
-	}
+	s.sub.Send(typ, body)
 }
 
 // unregister asks the main loop to drop this session.
@@ -105,11 +96,12 @@ func (s *session) unregister() {
 	}
 }
 
-// close terminates the connection; safe to call multiple times and from
-// any goroutine.
+// close terminates the connection and the delivery queue; safe to call
+// multiple times and from any goroutine.
 func (s *session) close() {
 	s.closeOnce.Do(func() {
 		close(s.closed)
+		s.sub.Close()
 		s.conn.Close()
 	})
 }

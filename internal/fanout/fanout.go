@@ -1,0 +1,348 @@
+// Package fanout is the daemon's client delivery tier: a subscription
+// registry that routes each ordered message — decoded and encoded exactly
+// once — to the local sessions interested in any of its destination
+// groups, through per-subscriber bounded queues with a selectable
+// backpressure policy.
+//
+// The tier exists so the daemon's protocol loop never blocks on a slow
+// client socket (unless explicitly configured to, via PolicyBlock) and
+// never pays per-subscriber allocations on the delivery hot path: Publish
+// performs one registry walk with stamp-based duplicate suppression and
+// one ring-buffer slot write per interested subscriber, nothing else.
+// FlexCast's genuineness principle, applied at the serving tier: only the
+// sessions a message addresses are ever touched by its delivery.
+//
+// Interest has two independent sources per (subscriber, group):
+// ring-ordered group membership (the daemon subscribes members so they
+// receive what the group semantics owe them) and explicit local
+// subscriptions (CmdSubscribe — a tap on the ordered stream without
+// membership, the scalable path for large read-only audiences). A
+// subscriber stays interested until both sources are gone.
+package fanout
+
+import (
+	"errors"
+	"sync"
+)
+
+// Policy selects what Publish does when a subscriber's queue is full.
+type Policy uint8
+
+const (
+	// PolicyDisconnect kills the slow subscriber: its queue is closed, its
+	// writer exits with ErrSlowClient, and the owner's exit callback runs.
+	// This is the classic Spread-style daemon behavior and the default.
+	PolicyDisconnect Policy = iota
+	// PolicyShed drops the newest message for that subscriber only,
+	// counting it as shed; healthy subscribers are unaffected and the slow
+	// subscriber's backlog stays bounded by the queue depth.
+	PolicyShed
+	// PolicyBlock makes Publish wait until the subscriber drains a slot
+	// (or dies). This stalls the publisher — typically the daemon's
+	// protocol loop — and therefore every other client behind it; it
+	// exists for deployments that would rather apply global backpressure
+	// than lose or disconnect anything.
+	PolicyBlock
+)
+
+// String returns the flag-friendly policy name.
+func (p Policy) String() string {
+	switch p {
+	case PolicyDisconnect:
+		return "disconnect"
+	case PolicyShed:
+		return "shed"
+	case PolicyBlock:
+		return "block"
+	}
+	return "unknown"
+}
+
+// ParsePolicy parses a flag-friendly policy name ("disconnect", "shed" or
+// "drop" for drop-newest, "block").
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "disconnect":
+		return PolicyDisconnect, nil
+	case "shed", "drop":
+		return PolicyShed, nil
+	case "block":
+		return PolicyBlock, nil
+	}
+	return 0, errors.New("fanout: unknown policy " + s)
+}
+
+// Source identifies why a subscriber is interested in a group. The two
+// sources are independent: joining and leaving a group as a member does
+// not disturb an explicit subscription, and vice versa.
+type Source uint8
+
+const (
+	// SourceMember marks interest implied by ring-ordered group
+	// membership.
+	SourceMember Source = 1 << iota
+	// SourceExplicit marks interest from a CmdSubscribe-style local
+	// subscription.
+	SourceExplicit
+)
+
+// DefaultQueueDepth is the per-subscriber queue depth when Config leaves
+// it zero. It matches the pre-tier daemon's session queue.
+const DefaultQueueDepth = 8192
+
+// Config configures a Tier.
+type Config struct {
+	// QueueDepth bounds each subscriber's delivery queue, in frames;
+	// zero selects DefaultQueueDepth. Control frames (views, stats,
+	// welcomes) are exempt from the bound — they are rare, small, and
+	// required for protocol correctness — so the bound governs message
+	// backlog.
+	QueueDepth int
+	// Policy is the backpressure policy applied to message frames when a
+	// queue is full; the zero value is PolicyDisconnect.
+	Policy Policy
+}
+
+// Tier is the delivery tier: a registry of subscribers and their group
+// interests, plus the tier-wide counters. Registration, subscription and
+// publishing may be called from any goroutine; the expected arrangement
+// is a single publisher (the daemon main loop) with concurrent writer
+// goroutines draining the queues.
+type Tier struct {
+	cfg Config
+
+	mu     sync.Mutex
+	groups map[string][]*Subscriber
+	subs   map[*Subscriber]struct{}
+	// stamp is the per-Publish dedup generation: a subscriber reached
+	// through several destination groups of one message carries the
+	// current stamp after the first visit and is skipped on the rest.
+	// Stamps live on subscribers but are owned by the tier lock, so
+	// unregistering a subscriber can never leave stale dedup state behind
+	// (the per-message map the daemon once reused for this is gone).
+	stamp uint64
+
+	subscriptions int
+	published     uint64
+	enqueued      uint64
+	shed          uint64
+	disconnects   uint64
+	// deliveredGone accumulates the delivered counts of unregistered
+	// subscribers, so Snapshot's Delivered stays cumulative across client
+	// churn instead of dropping when a session ends.
+	deliveredGone uint64
+}
+
+// NewTier creates an empty tier.
+func NewTier(cfg Config) *Tier {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	return &Tier{
+		cfg:    cfg,
+		groups: make(map[string][]*Subscriber),
+		subs:   make(map[*Subscriber]struct{}),
+	}
+}
+
+// Policy returns the tier's configured backpressure policy.
+func (t *Tier) Policy() Policy { return t.cfg.Policy }
+
+// Register adds a subscriber draining into sink and starts its writer.
+//
+// onKill, if non-nil, runs synchronously from inside Publish (with the
+// tier locked) when PolicyDisconnect kills the subscriber; its job is to
+// sever the underlying connection so a writer stuck in a blocking sink
+// write comes unstuck. It must not call back into the tier.
+//
+// onExit, if non-nil, runs exactly once from the writer goroutine when it
+// stops: with ErrSlowClient when PolicyDisconnect killed the subscriber,
+// with the write error if the sink failed, or with nil after Close. The
+// callback must not call back into the tier synchronously with work that
+// needs the publisher to make progress (it may, and typically does,
+// schedule an Unregister).
+func (t *Tier) Register(sink Sink, onKill func(), onExit func(error)) *Subscriber {
+	s := newSubscriber(t.cfg.QueueDepth, sink, onKill, onExit)
+	t.mu.Lock()
+	t.subs[s] = struct{}{}
+	t.mu.Unlock()
+	go s.writeLoop()
+	return s
+}
+
+// Unregister removes the subscriber from every group and from the tier,
+// and closes its queue (stopping its writer if still running). Safe to
+// call more than once.
+func (t *Tier) Unregister(s *Subscriber) {
+	t.mu.Lock()
+	if _, ok := t.subs[s]; ok {
+		delete(t.subs, s)
+		for group := range s.interests {
+			t.removeFromGroup(s, group)
+		}
+		t.subscriptions -= len(s.interests)
+		t.deliveredGone += s.delivered.Load()
+		clear(s.interests)
+		s.subCount.Store(0)
+	}
+	t.mu.Unlock()
+	s.Close()
+}
+
+// Subscribe records the subscriber's interest in a group from the given
+// source. It reports whether the subscriber was previously uninterested
+// in the group (i.e. this call made it a receiver).
+func (t *Tier) Subscribe(s *Subscriber, group string, src Source) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.subs[s]; !ok {
+		return false
+	}
+	prev := s.interests[group]
+	if prev&src != 0 {
+		return false
+	}
+	s.interests[group] = prev | src
+	if prev != 0 {
+		return false
+	}
+	t.groups[group] = append(t.groups[group], s)
+	t.subscriptions++
+	s.subCount.Add(1)
+	return true
+}
+
+// Unsubscribe withdraws one source of interest; the subscriber stops
+// receiving the group only once no source remains. It reports whether
+// this call removed the subscriber from the group's receiver set.
+func (t *Tier) Unsubscribe(s *Subscriber, group string, src Source) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	prev := s.interests[group]
+	if prev&src == 0 {
+		return false
+	}
+	rest := prev &^ src
+	if rest != 0 {
+		s.interests[group] = rest
+		return false
+	}
+	delete(s.interests, group)
+	t.removeFromGroup(s, group)
+	t.subscriptions--
+	s.subCount.Add(-1)
+	return true
+}
+
+// removeFromGroup drops s from a group's receiver slice. Caller holds
+// t.mu.
+func (t *Tier) removeFromGroup(s *Subscriber, group string) {
+	subs := t.groups[group]
+	for i, v := range subs {
+		if v == s {
+			last := len(subs) - 1
+			subs[i] = subs[last]
+			subs[last] = nil
+			subs = subs[:last]
+			break
+		}
+	}
+	if len(subs) == 0 {
+		delete(t.groups, group)
+	} else {
+		t.groups[group] = subs
+	}
+}
+
+// Publish routes one already-encoded frame to every subscriber interested
+// in any of the destination groups, exactly once per subscriber even when
+// it is interested in several of them, skipping skip (the self-discard
+// case). The frame body is retained by the queues until written and must
+// not be mutated afterwards. It returns the number of subscribers the
+// frame was enqueued for.
+//
+// Publish allocates nothing: the per-message cost is the registry walk
+// plus one ring-slot write (or one policy action) per interested
+// subscriber.
+func (t *Tier) Publish(groups []string, typ byte, body []byte, skip *Subscriber) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stamp++
+	t.published++
+	n := 0
+	for _, group := range groups {
+		for _, s := range t.groups[group] {
+			if s == skip || s.stamp == t.stamp {
+				continue
+			}
+			s.stamp = t.stamp
+			switch s.enqueueMessage(typ, body, t.cfg.Policy) {
+			case enqOK:
+				n++
+				t.enqueued++
+			case enqShed:
+				t.shed++
+			case enqKilled:
+				t.disconnects++
+				if s.onKill != nil {
+					s.onKill()
+				}
+			case enqDead:
+				// Closed subscriber still awaiting Unregister; nothing to do.
+			}
+		}
+	}
+	return n
+}
+
+// TierSnapshot is a point-in-time aggregate view of the tier, suitable
+// for embedding in a metrics snapshot. Per-subscriber detail is the
+// owner's business (the daemon reports it per client in its stats
+// snapshot); the tier reports totals so the snapshot stays small even
+// with 100k subscribers.
+type TierSnapshot struct {
+	// Policy and QueueDepth echo the configuration.
+	Policy     string `json:"policy"`
+	QueueDepth int    `json:"queue_depth"`
+	// Subscribers counts registered subscribers; Subscriptions counts
+	// (subscriber, group) interest edges.
+	Subscribers   int `json:"subscribers"`
+	Subscriptions int `json:"subscriptions"`
+	// Published counts Publish calls (ordered messages offered to the
+	// tier); Enqueued counts per-subscriber copies accepted into queues;
+	// Delivered counts frames actually written to sinks (all frame
+	// types, cumulative across departed subscribers); Shed counts
+	// message copies dropped by PolicyShed; Disconnects counts
+	// subscribers killed by PolicyDisconnect.
+	Published   uint64 `json:"published"`
+	Enqueued    uint64 `json:"enqueued"`
+	Delivered   uint64 `json:"delivered"`
+	Shed        uint64 `json:"shed"`
+	Disconnects uint64 `json:"disconnects"`
+	// MaxBacklog is the deepest queue at snapshot time.
+	MaxBacklog int `json:"max_backlog"`
+}
+
+// Snapshot assembles the tier-wide counters.
+func (t *Tier) Snapshot() TierSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	snap := TierSnapshot{
+		Policy:        t.cfg.Policy.String(),
+		QueueDepth:    t.cfg.QueueDepth,
+		Subscribers:   len(t.subs),
+		Subscriptions: t.subscriptions,
+		Published:     t.published,
+		Enqueued:      t.enqueued,
+		Delivered:     t.deliveredGone,
+		Shed:          t.shed,
+		Disconnects:   t.disconnects,
+	}
+	for s := range t.subs {
+		snap.Delivered += s.delivered.Load()
+		if b := s.Backlog(); b > snap.MaxBacklog {
+			snap.MaxBacklog = b
+		}
+	}
+	return snap
+}

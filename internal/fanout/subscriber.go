@@ -1,0 +1,267 @@
+package fanout
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrSlowClient is handed to a subscriber's exit callback when
+// PolicyDisconnect killed it for exceeding its queue depth.
+var ErrSlowClient = errors.New("fanout: subscriber exceeded its delivery queue")
+
+// Sink is where a subscriber's writer drains frames — for the daemon, the
+// client's IPC connection.
+type Sink interface {
+	WriteFrame(typ byte, body []byte) error
+}
+
+type frame struct {
+	typ  byte
+	body []byte
+}
+
+// enqueue outcomes for a message frame.
+type enqResult uint8
+
+const (
+	enqOK enqResult = iota
+	enqShed
+	enqKilled
+	enqDead
+)
+
+// Subscriber is one registered client of the tier: a bounded FIFO frame
+// queue drained by a dedicated writer goroutine. Messages and control
+// frames share the one queue so a client observes views, stats and
+// messages in exactly the order the daemon emitted them.
+type Subscriber struct {
+	sink   Sink
+	onKill func()
+	onExit func(error)
+
+	mu       sync.Mutex
+	notEmpty sync.Cond // frame enqueued, or queue closed
+	notFull  sync.Cond // frame dequeued, or queue closed
+	ring     []frame   // circular; len(ring) is physical capacity
+	head     int
+	count    int
+	depth    int // policy bound for message frames; control may exceed it
+	closed   bool
+	killErr  error // reason the queue was closed, nil for plain Close
+
+	highWater int
+
+	// msgs counts message frames accepted into the queue (the daemon's
+	// per-client delivery counter), shed counts message frames dropped by
+	// PolicyShed, delivered counts frames the writer wrote to the sink.
+	msgs      atomic.Uint64
+	shed      atomic.Uint64
+	delivered atomic.Uint64
+	// subCount mirrors len(interests) for lock-free Stats.
+	subCount atomic.Int64
+
+	// stamp and interests are owned by the tier's lock.
+	stamp     uint64
+	interests map[string]Source
+}
+
+// initialRing is the starting physical ring capacity. The queue bound is
+// logical (depth); the ring grows toward it on demand, so an idle
+// subscriber costs ~2KB rather than depth×frame — what lets one daemon
+// carry tens of thousands of mostly-drained clients.
+const initialRing = 64
+
+func newSubscriber(depth int, sink Sink, onKill func(), onExit func(error)) *Subscriber {
+	phys := depth
+	if phys > initialRing {
+		phys = initialRing
+	}
+	s := &Subscriber{
+		sink:      sink,
+		onKill:    onKill,
+		onExit:    onExit,
+		ring:      make([]frame, phys),
+		depth:     depth,
+		interests: make(map[string]Source),
+	}
+	s.notEmpty.L = &s.mu
+	s.notFull.L = &s.mu
+	return s
+}
+
+// enqueueMessage applies the backpressure policy and, when there is (or
+// becomes) room, appends a message frame.
+func (s *Subscriber) enqueueMessage(typ byte, body []byte, policy Policy) enqResult {
+	s.mu.Lock()
+	if policy == PolicyBlock {
+		for s.count >= s.depth && !s.closed {
+			s.notFull.Wait()
+		}
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return enqDead
+	}
+	if s.count >= s.depth {
+		switch policy {
+		case PolicyShed:
+			s.mu.Unlock()
+			s.shed.Add(1)
+			return enqShed
+		default: // PolicyDisconnect
+			s.closeLocked(ErrSlowClient)
+			s.mu.Unlock()
+			return enqKilled
+		}
+	}
+	if s.count == len(s.ring) {
+		s.grow()
+	}
+	s.append(frame{typ: typ, body: body})
+	s.mu.Unlock()
+	s.msgs.Add(1)
+	return enqOK
+}
+
+// Send enqueues a control frame (welcome, view, stats). Control frames
+// are exempt from the queue bound: they are rare, required for protocol
+// correctness, and dropping or blocking on them would corrupt a client's
+// view of the world, so the ring grows past the configured depth if it
+// must. It reports false if the subscriber is already closed.
+func (s *Subscriber) Send(typ byte, body []byte) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	if s.count == len(s.ring) {
+		s.grow()
+	}
+	s.append(frame{typ: typ, body: body})
+	s.mu.Unlock()
+	return true
+}
+
+// append assumes s.mu is held and there is physical room.
+func (s *Subscriber) append(f frame) {
+	s.ring[(s.head+s.count)%len(s.ring)] = f
+	s.count++
+	if s.count > s.highWater {
+		s.highWater = s.count
+	}
+	if s.count == 1 {
+		s.notEmpty.Signal()
+	}
+}
+
+// grow doubles the physical ring, preserving FIFO order. Caller holds
+// s.mu. Messages get here while backlog climbs toward depth; control
+// frames also grow past it (they are exempt from the bound).
+func (s *Subscriber) grow() {
+	next := make([]frame, 2*len(s.ring))
+	for i := 0; i < s.count; i++ {
+		next[i] = s.ring[(s.head+i)%len(s.ring)]
+	}
+	s.ring = next
+	s.head = 0
+}
+
+// writeLoop drains the queue onto the sink until the queue closes or the
+// sink fails, then runs the exit callback exactly once.
+func (s *Subscriber) writeLoop() {
+	var err error
+	for {
+		s.mu.Lock()
+		for s.count == 0 && !s.closed {
+			s.notEmpty.Wait()
+		}
+		if s.closed {
+			err = s.killErr
+			s.mu.Unlock()
+			break
+		}
+		f := s.ring[s.head]
+		s.ring[s.head] = frame{} // drop the body reference
+		s.head = (s.head + 1) % len(s.ring)
+		s.count--
+		s.notFull.Broadcast()
+		s.mu.Unlock()
+		if werr := s.sink.WriteFrame(f.typ, f.body); werr != nil {
+			// Mark closed so a publisher blocked in PolicyBlock (or the
+			// owner) learns this subscriber is gone. If the queue was
+			// already killed (PolicyDisconnect severing a stuck write),
+			// the kill reason outranks the resulting socket error.
+			s.mu.Lock()
+			if s.closed && s.killErr != nil {
+				werr = s.killErr
+			} else {
+				s.closeLocked(werr)
+			}
+			s.mu.Unlock()
+			err = werr
+			break
+		}
+		s.delivered.Add(1)
+	}
+	if s.onExit != nil {
+		s.onExit(err)
+	}
+}
+
+// Close shuts the queue down and stops the writer; pending frames are
+// discarded (the connection is going away with them). Safe to call from
+// any goroutine, any number of times.
+func (s *Subscriber) Close() {
+	s.mu.Lock()
+	s.closeLocked(nil)
+	s.mu.Unlock()
+}
+
+// closeLocked assumes s.mu is held.
+func (s *Subscriber) closeLocked(reason error) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.killErr = reason
+	s.notEmpty.Broadcast()
+	s.notFull.Broadcast()
+}
+
+// Backlog returns the current queue depth.
+func (s *Subscriber) Backlog() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Stats is a point-in-time view of one subscriber's counters.
+type Stats struct {
+	// Msgs counts message frames accepted into the queue; Shed counts
+	// message frames dropped by PolicyShed; Delivered counts frames of
+	// every type written to the sink.
+	Msgs      uint64
+	Shed      uint64
+	Delivered uint64
+	// Backlog is the current queue depth, HighWater its maximum since
+	// registration, Subscriptions the current interest count.
+	Backlog       int
+	HighWater     int
+	Subscriptions int
+}
+
+// Stats snapshots the subscriber's counters.
+func (s *Subscriber) Stats() Stats {
+	s.mu.Lock()
+	backlog, high := s.count, s.highWater
+	s.mu.Unlock()
+	return Stats{
+		Msgs:          s.msgs.Load(),
+		Shed:          s.shed.Load(),
+		Delivered:     s.delivered.Load(),
+		Backlog:       backlog,
+		HighWater:     high,
+		Subscriptions: int(s.subCount.Load()),
+	}
+}

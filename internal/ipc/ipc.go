@@ -27,6 +27,16 @@ const (
 	// the daemon answers with one EvtStats frame carrying it as JSON.
 	CmdStats
 	EvtStats
+	// CmdSubscribe / CmdUnsubscribe (client → daemon, body: one
+	// length-prefixed group name) register and withdraw local delivery
+	// interest in a group's ordered message stream, without joining the
+	// group: the subscriber receives every message addressed to the group
+	// but never appears in its membership views and costs the ring
+	// nothing. Distinct from CmdJoin, which orders a membership change
+	// through the ring. Subscriptions are daemon-local state, dropped
+	// with the session.
+	CmdSubscribe
+	CmdUnsubscribe
 )
 
 // MaxFrame bounds one frame (payload plus protocol headers).

@@ -92,6 +92,49 @@ func TestMultipleFramesSequential(t *testing.T) {
 	}
 }
 
+// TestFrameTypeValuesStable pins the wire values: types are append-only,
+// so a reordering that silently renumbered them would break deployed
+// client↔daemon pairs.
+func TestFrameTypeValuesStable(t *testing.T) {
+	want := map[string]byte{
+		"CmdConnect": CmdConnect, "CmdJoin": CmdJoin, "CmdLeave": CmdLeave,
+		"CmdMulticast": CmdMulticast, "EvtWelcome": EvtWelcome,
+		"EvtMessage": EvtMessage, "EvtView": EvtView, "CmdStats": CmdStats,
+		"EvtStats": EvtStats, "CmdSubscribe": CmdSubscribe, "CmdUnsubscribe": CmdUnsubscribe,
+	}
+	got := map[string]byte{
+		"CmdConnect": 1, "CmdJoin": 2, "CmdLeave": 3, "CmdMulticast": 4,
+		"EvtWelcome": 5, "EvtMessage": 6, "EvtView": 7, "CmdStats": 8,
+		"EvtStats": 9, "CmdSubscribe": 10, "CmdUnsubscribe": 11,
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("frame type values moved:\nhave %v\nwant %v", want, got)
+	}
+}
+
+// TestSubscribeFrameRoundtrip round-trips the subscription frames the way
+// the client library and daemon exchange them: one length-prefixed group
+// name as the whole body.
+func TestSubscribeFrameRoundtrip(t *testing.T) {
+	for _, typ := range []byte{CmdSubscribe, CmdUnsubscribe} {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, typ, PutString(nil, "metrics/feed")); err != nil {
+			t.Fatal(err)
+		}
+		gotTyp, body, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotTyp != typ {
+			t.Fatalf("type = %d, want %d", gotTyp, typ)
+		}
+		group, rest, err := GetString(body)
+		if err != nil || group != "metrics/feed" || len(rest) != 0 {
+			t.Fatalf("group %q rest %v err %v", group, rest, err)
+		}
+	}
+}
+
 func TestStringRoundtrip(t *testing.T) {
 	b := PutString(nil, "hello")
 	s, rest, err := GetString(b)

@@ -6,8 +6,19 @@ import "encoding/json"
 type ClientStats struct {
 	// Submits counts multicasts this client submitted into the ring.
 	Submits uint64 `json:"submits"`
-	// Deliveries counts ordered messages the daemon delivered to it.
+	// Deliveries counts ordered messages the daemon accepted into this
+	// client's delivery queue.
 	Deliveries uint64 `json:"deliveries"`
+	// Shed counts ordered messages dropped for this client by the fan-out
+	// tier's shed policy because its queue was full.
+	Shed uint64 `json:"shed,omitempty"`
+	// Backlog is the client's delivery-queue depth at snapshot time;
+	// HighWater its maximum over the session.
+	Backlog   int `json:"backlog,omitempty"`
+	HighWater int `json:"high_water,omitempty"`
+	// Subscriptions counts the groups this client currently receives,
+	// from membership and explicit subscriptions combined.
+	Subscriptions int `json:"subscriptions,omitempty"`
 }
 
 // StatsSnapshot is the JSON body of an EvtStats frame: the daemon's view
@@ -22,8 +33,22 @@ type StatsSnapshot struct {
 	// least one member anywhere on the ring.
 	Sessions int `json:"sessions"`
 	Groups   int `json:"groups"`
-	// Clients maps each local client's private name to its counters.
-	Clients map[string]ClientStats `json:"clients,omitempty"`
+	// Subscriptions counts this daemon's (client, group) delivery-interest
+	// edges in the fan-out tier; Shed and Disconnects total the messages
+	// dropped and the clients severed by its backpressure policy, named by
+	// FanoutPolicy. The tier's full aggregate snapshot rides inside Node
+	// (MetricsSnapshot.Fanout).
+	Subscriptions int    `json:"subscriptions,omitempty"`
+	Shed          uint64 `json:"shed,omitempty"`
+	Disconnects   uint64 `json:"disconnects,omitempty"`
+	FanoutPolicy  string `json:"fanout_policy,omitempty"`
+	// Clients maps each local client's private name to its counters. At
+	// serving scale the daemon omits this map rather than emit a snapshot
+	// frame that can't fit MaxFrame: ClientsOmitted reports how many
+	// sessions went unlisted (the aggregate counters above still cover
+	// them).
+	Clients        map[string]ClientStats `json:"clients,omitempty"`
+	ClientsOmitted int                    `json:"clients_omitted,omitempty"`
 	// Node is the ring node's metrics snapshot (accelring.MetricsSnapshot).
 	Node json.RawMessage `json:"node,omitempty"`
 }
