@@ -186,6 +186,18 @@ type Node struct {
 	decTok     wire.Token
 	rtrScratch []wire.Seq
 
+	// batcher is non-nil when the transport supports batched multicast
+	// (udpnet on Linux): runs of consecutive SendData actions — the
+	// engine's pre-token window run and post-token accelerated flush —
+	// are encoded into pooled buffers and flushed with one MulticastBatch
+	// call instead of one syscall per frame. burstBufs and burstPkts are
+	// the protocol-goroutine-owned scratch vectors backing a burst in
+	// flight; their headers are retained across bursts so the steady state
+	// allocates nothing.
+	batcher   transport.BatchSender
+	burstBufs [][]byte
+	burstPkts [][]byte
+
 	mu      sync.Mutex
 	errs    []error // ring of recent protocol-loop errors
 	errHead int     // index of the oldest entry once the ring is full
@@ -257,6 +269,9 @@ func Start(opts Options) (*Node, error) {
 		stopCh:   make(chan struct{}),
 		done:     make(chan struct{}),
 		nm:       newNodeMetrics(),
+	}
+	if bs, ok := opts.Transport.(transport.BatchSender); ok {
+		n.batcher = bs
 	}
 
 	var initial []core.Action

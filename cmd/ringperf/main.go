@@ -40,7 +40,11 @@ func run() int {
 	serviceFlag := flag.String("service", "agreed", "agreed or safe")
 	transportFlag := flag.String("transport", "udp", "udp (loopback sockets) or mem (in-memory)")
 	pack := flag.Int("pack", 0, "message packing threshold (0 disables)")
-	metricsJSON := flag.String("metrics-json", "", "directory to write a BENCH_ringperf.json report into (summary point plus per-node metrics snapshots)")
+	metricsJSON := flag.String("metrics-json", "", "directory to write a BENCH_<report-id>.json report into (summary point plus per-node metrics snapshots)")
+	reportID := flag.String("report-id", "ringperf", "benchmark id for the metrics report file name and header")
+	metricsAppend := flag.Bool("metrics-append", false, "append this run's point to an existing report instead of overwriting it (for multi-arm sweeps like batch vs nobatch)")
+	udpNoBatch := flag.Bool("udp-nobatch", false, "disable the batched-syscall dataplane (udp transport only): the control arm for syscall amortization measurements")
+	series := flag.String("series", "", "series label override for the report point (default transport/protocol/service)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "ringperf: ", log.LstdFlags)
@@ -67,7 +71,7 @@ func run() int {
 	for i := range members {
 		members[i] = accelring.ParticipantID(i + 1)
 	}
-	transports, err := buildTransports(*transportFlag, members)
+	transports, err := buildTransports(*transportFlag, members, *udpNoBatch)
 	if err != nil {
 		logger.Print(err)
 		return 1
@@ -192,22 +196,57 @@ func run() int {
 			lat.Mean(), lat.Percentile(50), lat.Percentile(99), lat.Max(), lat.Count())
 	}
 	if *metricsJSON != "" {
-		label := fmt.Sprintf("%s/%s/%s", *transportFlag, *protoFlag, *serviceFlag)
-		path, err := writeMetricsReport(*metricsJSON, label, ring, *rate, achieved, &lat, sent.Load(), poolDelta, allocsPerMsg)
+		label := *series
+		if label == "" {
+			label = fmt.Sprintf("%s/%s/%s", *transportFlag, *protoFlag, *serviceFlag)
+			if *udpNoBatch {
+				label += "/nobatch"
+			}
+		}
+		cfg := reportConfig{
+			dir:    *metricsJSON,
+			id:     *reportID,
+			label:  label,
+			append: *metricsAppend,
+		}
+		path, point, err := writeMetricsReport(cfg, ring, *rate, achieved, &lat, sent.Load(), elapsed, poolDelta, allocsPerMsg)
 		if err != nil {
 			logger.Print(err)
 			return 1
+		}
+		if point.RecvSyscalls+point.SendSyscalls > 0 {
+			fmt.Printf("syscalls/msg %.3f (recv %d + send %d syscalls; batch mean recv=%.1f send=%.1f)\n",
+				point.SyscallsPerMsg, point.RecvSyscalls, point.SendSyscalls,
+				point.RecvBatchMean, point.SendBatchMean)
 		}
 		fmt.Printf("metrics report: %s\n", path)
 	}
 	return 0
 }
 
-// writeMetricsReport emits a BENCH_ringperf.json report: one summary point
-// in the shared bench schema plus every node's full metrics snapshot.
-func writeMetricsReport(dir, label string, ring []*accelring.Node, offered, achieved float64, lat *stats.Sample, sent uint64, pool accelring.PoolSnapshot, allocsPerMsg float64) (string, error) {
+// reportConfig names the output file (BENCH_<id>.json in dir), the series
+// label for this run's point, and whether to append to an existing report
+// (multi-arm sweeps: the batch and nobatch runs land in one file).
+type reportConfig struct {
+	dir    string
+	id     string
+	label  string
+	append bool
+}
+
+// metricsReport is the on-disk report shape: the shared bench schema plus
+// every node's full metrics snapshot for the most recent run.
+type metricsReport struct {
+	bench.JSONReport
+	NodeMetrics []accelring.MetricsSnapshot `json:"node_metrics"`
+}
+
+// writeMetricsReport emits (or appends to) a BENCH_<id>.json report: one
+// summary point in the shared bench schema plus every node's full metrics
+// snapshot.
+func writeMetricsReport(cfg reportConfig, ring []*accelring.Node, offered, achieved float64, lat *stats.Sample, sent uint64, elapsed float64, pool accelring.PoolSnapshot, allocsPerMsg float64) (string, bench.JSONPoint, error) {
 	point := bench.JSONPoint{
-		Series:       label,
+		Series:       cfg.label,
 		OfferedMbps:  offered,
 		AchievedMbps: achieved,
 		Stable:       achieved >= 0.97*offered,
@@ -224,10 +263,11 @@ func writeMetricsReport(dir, label string, ring []*accelring.Node, offered, achi
 	}
 	snaps := make([]accelring.MetricsSnapshot, 0, len(ring))
 	var rotationNs, rotations int64
+	var datagrams, recvBatchSum, sendBatchSum, recvBatchCnt, sendBatchCnt uint64
 	for _, node := range ring {
 		snap, err := node.Metrics()
 		if err != nil {
-			return "", fmt.Errorf("metrics at %s: %w", node.ID(), err)
+			return "", point, fmt.Errorf("metrics at %s: %w", node.ID(), err)
 		}
 		snaps = append(snaps, snap)
 		point.TokensHandled += snap.Engine.TokensProcessed
@@ -238,6 +278,19 @@ func writeMetricsReport(dir, label string, ring []*accelring.Node, offered, achi
 		point.FlowThrottledRounds += snap.Engine.FlowThrottledRounds
 		if snap.Transport != nil {
 			point.SockDrops += snap.Transport.RecvQueueDrops
+			point.RecvSyscalls += snap.Transport.RecvSyscalls
+			point.SendSyscalls += snap.Transport.SendSyscalls
+			datagrams += snap.Transport.DatagramsIn + snap.Transport.DatagramsOut
+			recvBatchSum += snap.Transport.RecvBatch.Sum
+			recvBatchCnt += snap.Transport.RecvBatch.Count
+			sendBatchSum += snap.Transport.SendBatch.Sum
+			sendBatchCnt += snap.Transport.SendBatch.Count
+			if m := snap.Transport.RecvBatch.Max; m > point.RecvBatchMax {
+				point.RecvBatchMax = m
+			}
+			if m := snap.Transport.SendBatch.Max; m > point.SendBatchMax {
+				point.SendBatchMax = m
+			}
 		}
 		if c := int64(snap.Runtime.TokenRotation.Count); c > 0 {
 			rotationNs += snap.Runtime.TokenRotation.MeanNs * c
@@ -250,31 +303,51 @@ func writeMetricsReport(dir, label string, ring []*accelring.Node, offered, achi
 	if rounds := float64(point.TokensHandled) / float64(len(ring)); rounds > 0 {
 		point.MsgsPerRound = float64(sent) / rounds
 	}
-	rep := struct {
-		bench.JSONReport
-		NodeMetrics []accelring.MetricsSnapshot `json:"node_metrics"`
-	}{
+	if datagrams > 0 {
+		point.SyscallsPerMsg = float64(point.RecvSyscalls+point.SendSyscalls) / float64(datagrams)
+	}
+	if elapsed > 0 {
+		point.MsgsPerSec = float64(sent) / elapsed
+	}
+	if recvBatchCnt > 0 {
+		point.RecvBatchMean = float64(recvBatchSum) / float64(recvBatchCnt)
+	}
+	if sendBatchCnt > 0 {
+		point.SendBatchMean = float64(sendBatchSum) / float64(sendBatchCnt)
+	}
+
+	rep := metricsReport{
 		JSONReport: bench.JSONReport{
-			Benchmark:     "ringperf",
+			Benchmark:     cfg.id,
 			Title:         "library-based deployment on a real transport",
 			GeneratedUnix: time.Now().Unix(),
 			Points:        []bench.JSONPoint{point},
 		},
 		NodeMetrics: snaps,
 	}
+	path := filepath.Join(cfg.dir, fmt.Sprintf("BENCH_%s.json", cfg.id))
+	if cfg.append {
+		if prev, err := os.ReadFile(path); err == nil {
+			var old metricsReport
+			if err := json.Unmarshal(prev, &old); err != nil {
+				return "", point, fmt.Errorf("appending to %s: %w", path, err)
+			}
+			rep.Points = append(old.Points, point)
+			rep.NodeMetrics = append(old.NodeMetrics, snaps...)
+		}
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		return "", err
+		return "", point, err
 	}
-	path := filepath.Join(dir, "BENCH_ringperf.json")
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		return "", err
+		return "", point, err
 	}
-	return path, nil
+	return path, point, nil
 }
 
 // buildTransports creates one transport per member on the chosen backend.
-func buildTransports(kind string, members []accelring.ParticipantID) ([]accelring.Transport, error) {
+func buildTransports(kind string, members []accelring.ParticipantID, noBatch bool) ([]accelring.Transport, error) {
 	switch kind {
 	case "mem":
 		network := accelring.NewMemoryNetwork(time.Now().UnixNano())
@@ -298,7 +371,7 @@ func buildTransports(kind string, members []accelring.ParticipantID) ([]accelrin
 		}
 		out := make([]accelring.Transport, len(members))
 		for i, id := range members {
-			tr, err := accelring.NewUDPTransport(accelring.UDPOptions{ID: id, Peers: peers})
+			tr, err := accelring.NewUDPTransport(accelring.UDPOptions{ID: id, Peers: peers, DisableBatch: noBatch})
 			if err != nil {
 				return nil, err
 			}

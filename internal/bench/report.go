@@ -41,6 +41,19 @@ type JSONPoint struct {
 	PoolPuts     uint64  `json:"pool_puts,omitempty"`
 	PoolDiscards uint64  `json:"pool_discards,omitempty"`
 	AllocsPerMsg float64 `json:"allocs_per_msg,omitempty"`
+	// Syscall-batching observability (udpnet's recvmmsg/sendmmsg dataplane),
+	// summed across nodes: syscall totals, the derived syscalls-per-datagram
+	// ratio (total syscalls over total datagrams moved — the amortization
+	// the batched paths exist to improve), the achieved submitted-message
+	// rate, and batch-size distribution summaries per direction.
+	RecvSyscalls   uint64  `json:"recv_syscalls,omitempty"`
+	SendSyscalls   uint64  `json:"send_syscalls,omitempty"`
+	SyscallsPerMsg float64 `json:"syscalls_per_msg,omitempty"`
+	MsgsPerSec     float64 `json:"msgs_per_sec,omitempty"`
+	RecvBatchMean  float64 `json:"recv_batch_mean,omitempty"`
+	SendBatchMean  float64 `json:"send_batch_mean,omitempty"`
+	RecvBatchMax   uint64  `json:"recv_batch_max,omitempty"`
+	SendBatchMax   uint64  `json:"send_batch_max,omitempty"`
 }
 
 // JSONReport is the BENCH_<id>.json file format shared by ringbench and

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBatchHistogramZeroValue(t *testing.T) {
+	var h BatchHistogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Sum != 0 || s.Max != 0 || s.Mean != 0 || s.Buckets != nil {
+		t.Fatalf("zero histogram snapshot not zero: %+v", s)
+	}
+	h.Observe(0)
+	h.Observe(-3)
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("non-positive observations were recorded: %+v", s)
+	}
+}
+
+func TestBatchHistogramBuckets(t *testing.T) {
+	var h BatchHistogram
+	// One observation per interesting size: bucket edges and interiors.
+	sizes := []int{1, 2, 3, 4, 5, 8, 9, 16, 1024, 1025, 1 << 20}
+	for _, n := range sizes {
+		h.Observe(n)
+	}
+	s := h.Snapshot()
+	if s.Count != uint64(len(sizes)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(sizes))
+	}
+	wantSum := uint64(0)
+	for _, n := range sizes {
+		wantSum += uint64(n)
+	}
+	if s.Sum != wantSum {
+		t.Fatalf("sum = %d, want %d", s.Sum, wantSum)
+	}
+	if s.Max != 1<<20 {
+		t.Fatalf("max = %d, want %d", s.Max, 1<<20)
+	}
+	// bucket[0] holds size 1; bucket[i] holds (2^(i-1), 2^i]; last overflows.
+	wantCounts := map[int]uint64{
+		0:  1, // 1
+		1:  1, // 2
+		2:  2, // 3, 4
+		3:  2, // 5, 8
+		4:  2, // 9, 16
+		10: 1, // 1024
+		11: 2, // 1025, 1<<20 → overflow
+	}
+	for i, b := range s.Buckets {
+		if b.Count != wantCounts[i] {
+			t.Fatalf("bucket %d count = %d, want %d (%+v)", i, b.Count, wantCounts[i], s.Buckets)
+		}
+	}
+	if s.Buckets[len(s.Buckets)-1].Upper != 0 {
+		t.Fatal("overflow bucket should report Upper = 0")
+	}
+	if got, want := s.Mean, float64(wantSum)/float64(len(sizes)); got != want {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+}
+
+func TestBatchHistogramConcurrent(t *testing.T) {
+	var h BatchHistogram
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(1 + (g+i)%32)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*per)
+	}
+	if s.Max > 32 || s.Max == 0 {
+		t.Fatalf("max = %d, want in [1,32]", s.Max)
+	}
+}

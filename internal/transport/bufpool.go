@@ -84,6 +84,30 @@ func (p *Pool) Put(pkt []byte) {
 	p.pool.Put((*[MaxPacket]byte)(pkt[:MaxPacket]))
 }
 
+// GetBatch appends n freshly obtained buffers to dst and returns the
+// extended slice. It is the vectorized Get for batched syscall paths: the
+// caller keeps one [][]byte scratch header and refills it per burst, so
+// the steady state allocates neither buffers (pool hits) nor the vector
+// (header capacity is retained across calls via dst[:0]).
+func (p *Pool) GetBatch(dst [][]byte, n int) [][]byte {
+	for i := 0; i < n; i++ {
+		dst = append(dst, p.Get())
+	}
+	return dst
+}
+
+// PutBatch returns every buffer in pkts to the pool and nils the entries,
+// so a retained scratch vector cannot alias recycled buffers (a stale
+// alias Put a second time is the classic double-put). Entries follow the
+// same rules as Put: sub-slices recover full capacity, nil and foreign
+// buffers are tolerated.
+func (p *Pool) PutBatch(pkts [][]byte) {
+	for i, b := range pkts {
+		p.Put(b)
+		pkts[i] = nil
+	}
+}
+
 // PoolSnapshot is a point-in-time copy of a pool's counters. Hits and
 // Misses partition Get calls; Puts counts buffers accepted back and
 // Discards counts returns rejected for wrong capacity.

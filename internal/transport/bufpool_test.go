@@ -76,6 +76,58 @@ func TestPoolRecyclesManyBuffers(t *testing.T) {
 	}
 }
 
+func TestPoolGetBatchPutBatch(t *testing.T) {
+	p := NewPool()
+	scratch := make([][]byte, 0, 8)
+	bufs := p.GetBatch(scratch, 5)
+	if len(bufs) != 5 {
+		t.Fatalf("GetBatch returned %d buffers, want 5", len(bufs))
+	}
+	for i, b := range bufs {
+		if len(b) != MaxPacket {
+			t.Fatalf("buffer %d: len=%d, want %d", i, len(b), MaxPacket)
+		}
+	}
+	// GetBatch appends: a partially filled destination keeps its prefix.
+	more := p.GetBatch(bufs, 2)
+	if len(more) != 7 {
+		t.Fatalf("append GetBatch: len=%d, want 7", len(more))
+	}
+	// PutBatch recycles every entry and nils the vector so a retained
+	// scratch can never double-put a recycled buffer.
+	more[3] = more[3][:100] // sub-slice, as after a receive
+	p.PutBatch(more)
+	for i, b := range more {
+		if b != nil {
+			t.Fatalf("PutBatch left entry %d non-nil", i)
+		}
+	}
+	if s := p.Snapshot(); s.Puts != 7 || s.Discards != 0 {
+		t.Fatalf("after PutBatch: %+v, want puts=7 discards=0", s)
+	}
+	// nil entries (already recycled) are tolerated.
+	p.PutBatch(more)
+	if s := p.Snapshot(); s.Puts != 7 {
+		t.Fatalf("PutBatch of nil vector changed counters: %+v", s)
+	}
+}
+
+func TestPoolGetBatchPutBatchAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts at random under the race detector")
+	}
+	p := NewPool()
+	p.PutBatch(p.GetBatch(nil, 8)) // warm the pool
+	scratch := make([][]byte, 0, 8)
+	allocs := testing.AllocsPerRun(1000, func() {
+		scratch = p.GetBatch(scratch[:0], 8)
+		p.PutBatch(scratch)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm GetBatch/PutBatch cycle allocates %.1f times/op, want 0", allocs)
+	}
+}
+
 func TestPoolGetPutAllocFree(t *testing.T) {
 	if raceEnabled {
 		t.Skip("sync.Pool drops Puts at random under the race detector")

@@ -47,6 +47,22 @@ type Transport interface {
 	Close() error
 }
 
+// BatchSender is optionally implemented by transports that can hand a run
+// of multicast packets to the network in fewer syscalls than one per
+// packet (sendmmsg on Linux). The runtime loop accumulates the engine's
+// multicast bursts — the pre-token retransmission+window run and the
+// post-token accelerated flush of up to AcceleratedWindow frames — and
+// flushes each run through MulticastBatch when the transport supports it.
+//
+// Semantics match len(pkts) successive Multicast calls: every packet goes
+// to every participant except the sender, each pkt is borrowed only for
+// the duration of the call, and a failure for one packet (or one peer,
+// under unicast emulation) must not abort delivery of the rest — the
+// aggregated error reports what was lost.
+type BatchSender interface {
+	MulticastBatch(pkts [][]byte) error
+}
+
 // Snapshot is a point-in-time copy of a transport's loss-accounting
 // counters. Both built-in transports maintain one; external transports may
 // opt in by implementing MetricsSource.
@@ -67,6 +83,26 @@ type Snapshot struct {
 	// SelfFiltered counts self-originated multicast packets filtered on
 	// receive (IP-multicast loopback copies).
 	SelfFiltered uint64 `json:"self_filtered"`
+	// RecvSyscalls and SendSyscalls count the receive and send syscalls
+	// actually issued (zero for in-memory transports). With syscall
+	// batching DatagramsIn/RecvSyscalls and DatagramsOut/SendSyscalls are
+	// the achieved amortization — the quantity the batched dataplane
+	// exists to raise.
+	RecvSyscalls uint64 `json:"recv_syscalls"`
+	SendSyscalls uint64 `json:"send_syscalls"`
+	// RecvTransientErrors counts receive-loop errors survived without
+	// killing the loop (ICMP-induced socket errors, momentary ENOBUFS);
+	// the loop only exits on close.
+	RecvTransientErrors uint64 `json:"recv_transient_errors"`
+	// PeerSendErrors counts individual per-destination send failures
+	// during multicast fan-out; the fan-out completes to the remaining
+	// peers regardless.
+	PeerSendErrors uint64 `json:"peer_send_errors"`
+	// RecvBatch and SendBatch are the distributions of datagrams moved per
+	// receive/send syscall (every syscall observes its batch size, so a
+	// one-at-a-time transport shows mean 1).
+	RecvBatch metrics.BatchSnapshot `json:"recv_batch"`
+	SendBatch metrics.BatchSnapshot `json:"send_batch"`
 }
 
 // MetricsSource is implemented by transports that keep loss-accounting
@@ -85,16 +121,31 @@ type Metrics struct {
 	Drops        metrics.Counter
 	Fanout       metrics.Counter
 	SelfFiltered metrics.Counter
+	// Syscall accounting and per-stage resilience counters for the batched
+	// dataplane; see the matching Snapshot fields. In-memory transports
+	// leave them zero.
+	RecvSyscalls  metrics.Counter
+	SendSyscalls  metrics.Counter
+	RecvTransient metrics.Counter
+	PeerSendErrs  metrics.Counter
+	RecvBatch     metrics.BatchHistogram
+	SendBatch     metrics.BatchHistogram
 }
 
 // MetricsSnapshot implements MetricsSource.
 func (m *Metrics) MetricsSnapshot() Snapshot {
 	return Snapshot{
-		DatagramsIn:    m.In.Load(),
-		DatagramsOut:   m.Out.Load(),
-		RecvQueueDrops: m.Drops.Load(),
-		FanoutSends:    m.Fanout.Load(),
-		SelfFiltered:   m.SelfFiltered.Load(),
+		DatagramsIn:         m.In.Load(),
+		DatagramsOut:        m.Out.Load(),
+		RecvQueueDrops:      m.Drops.Load(),
+		FanoutSends:         m.Fanout.Load(),
+		SelfFiltered:        m.SelfFiltered.Load(),
+		RecvSyscalls:        m.RecvSyscalls.Load(),
+		SendSyscalls:        m.SendSyscalls.Load(),
+		RecvTransientErrors: m.RecvTransient.Load(),
+		PeerSendErrors:      m.PeerSendErrs.Load(),
+		RecvBatch:           m.RecvBatch.Snapshot(),
+		SendBatch:           m.SendBatch.Snapshot(),
 	}
 }
 

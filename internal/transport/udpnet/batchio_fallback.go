@@ -1,0 +1,45 @@
+//go:build !(linux && (amd64 || arm64))
+
+// The portable fallback: no recvmmsg/sendmmsg. The transport keeps
+// today's one-datagram-per-syscall semantics; these stubs exist so the
+// main code path can test batchingSupported without build tags at every
+// call site. They are never invoked (every use is behind the constant),
+// but they compile on every GOOS/GOARCH — the CI cross-compile check
+// builds this file.
+package udpnet
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+
+	"accelring/internal/transport"
+)
+
+// batchingSupported reports whether this build can use recvmmsg/sendmmsg.
+const batchingSupported = false
+
+var errNoBatch = errors.New("udpnet: batched syscalls not supported on this platform")
+
+type batchReader struct{}
+
+func newBatchReader(*net.UDPConn, *transport.Pool) (*batchReader, error) {
+	return nil, errNoBatch
+}
+
+func (r *batchReader) read() (int, error)        { return 0, errNoBatch }
+func (r *batchReader) length(int) int            { return 0 }
+func (r *batchReader) buffer(int) []byte         { return nil }
+func (r *batchReader) addr(int) netip.AddrPort   { return netip.AddrPort{} }
+func (r *batchReader) detach(int) []byte         { return nil }
+func (r *batchReader) release()                  {}
+
+type batchWriter struct {
+	onSyscall func(sent int)
+}
+
+func newBatchWriter(*net.UDPConn) (*batchWriter, error) { return nil, errNoBatch }
+
+func (w *batchWriter) send([][]byte, []netip.AddrPort, func(int, error)) error {
+	return errNoBatch
+}

@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package udpnet
+
+// Raw syscall numbers for linux/amd64. The stdlib syscall package's number
+// table was frozen before sendmmsg (3.0 kernel, nr 307) landed, so both are
+// spelled out here; recvmmsg matches syscall.SYS_RECVMMSG.
+const (
+	sysRECVMMSG uintptr = 299
+	sysSENDMMSG uintptr = 307
+)

@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package udpnet
+
+// Raw syscall numbers for linux/arm64 (the generic 64-bit table).
+const (
+	sysRECVMMSG uintptr = 243
+	sysSENDMMSG uintptr = 269
+)

@@ -1,0 +1,389 @@
+package udpnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"accelring/internal/transport"
+	"accelring/internal/wire"
+)
+
+// scriptedReader drives readLoopPortable through an exact sequence of
+// results — the deterministic stand-in for a socket hit by ICMP-induced
+// errors or momentary kernel memory pressure.
+type scriptedReader struct {
+	steps []readStep
+	i     int
+}
+
+type readStep struct {
+	pkt []byte
+	err error
+}
+
+func (s *scriptedReader) ReadFromUDPAddrPort(b []byte) (int, netip.AddrPort, error) {
+	if s.i >= len(s.steps) {
+		return 0, netip.AddrPort{}, net.ErrClosed
+	}
+	st := s.steps[s.i]
+	s.i++
+	if st.err != nil {
+		return 0, netip.AddrPort{}, st.err
+	}
+	n := copy(b, st.pkt)
+	return n, netip.MustParseAddrPort("127.0.0.1:9999"), nil
+}
+
+// TestReadLoopSurvivesTransientErrors is the regression test for the
+// receive-loop resilience fix: the old loop returned on ANY read error, so
+// a single ICMP port-unreachable (surfaced as ECONNREFUSED) silently
+// killed the node's receive path forever. The loop must instead count the
+// error, log once per burst, back off, and keep serving — exiting only on
+// net.ErrClosed.
+func TestReadLoopSurvivesTransientErrors(t *testing.T) {
+	refused := &net.OpError{Op: "read", Net: "udp", Err: syscall.ECONNREFUSED}
+	nobufs := &net.OpError{Op: "read", Net: "udp", Err: syscall.ENOBUFS}
+	reader := &scriptedReader{steps: []readStep{
+		{err: refused},
+		{err: refused},
+		{pkt: []byte("first")},
+		{err: nobufs},
+		{pkt: []byte("second")},
+		{err: net.ErrClosed},
+	}}
+
+	var logCalls atomic.Int64
+	tr := &Transport{cfg: Config{Logf: func(string, ...any) { logCalls.Add(1) }}}
+	ch := make(chan []byte, 4)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tr.readLoopPortable(reader, ch, netip.AddrPort{})
+	}()
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("read loop did not exit on net.ErrClosed")
+	}
+	if got := len(ch); got != 2 {
+		t.Fatalf("loop delivered %d packets across the error bursts, want 2", got)
+	}
+	for i, want := range []string{"first", "second"} {
+		if got := string(<-ch); got != want {
+			t.Fatalf("packet %d = %q, want %q", i, got, want)
+		}
+	}
+	snap := tr.MetricsSnapshot()
+	if snap.RecvTransientErrors != 3 {
+		t.Fatalf("RecvTransientErrors = %d, want 3", snap.RecvTransientErrors)
+	}
+	if snap.DatagramsIn != 2 {
+		t.Fatalf("DatagramsIn = %d, want 2", snap.DatagramsIn)
+	}
+	// One log line per error burst (two bursts), not one per error.
+	if got := logCalls.Load(); got != 2 {
+		t.Fatalf("logged %d times, want 2 (once per burst)", got)
+	}
+}
+
+// mixedRing builds the partial-failure fixture: sender 1 and receiver 4
+// are real loopback transports; peers 2 and 3 are IPv6 destinations that
+// the sender's IPv4-bound data socket can never reach, so every send to
+// them fails deterministically at the socket layer. Fan-out order is
+// sorted by ID, so the bad peers come first — old code aborted there and
+// peer 4 (behind the failures) never received anything.
+func mixedRing(t *testing.T) (sender, receiver *Transport) {
+	t.Helper()
+	ports := freePorts(t, 8)
+	peers := map[wire.ParticipantID]Peer{
+		1: {Host: "127.0.0.1", DataPort: ports[0], TokenPort: ports[1]},
+		2: {Host: "::1", DataPort: ports[2], TokenPort: ports[3]},
+		3: {Host: "::1", DataPort: ports[4], TokenPort: ports[5]},
+		4: {Host: "127.0.0.1", DataPort: ports[6], TokenPort: ports[7]},
+	}
+	quiet := Config{Logf: func(string, ...any) {}}.Logf
+	a, err := New(Config{MyID: 1, Peers: peers, Logf: quiet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(Config{MyID: 4, Peers: peers, Logf: quiet})
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		a.Close()
+		d.Close()
+	})
+	return a, d
+}
+
+// TestMulticastFanOutContinuesPastFailure is the regression test for the
+// emulated-multicast abort bug: one unreachable peer used to end the
+// fan-out loop, partitioning every peer after it in iteration order. The
+// fan-out must now complete, aggregate every per-peer failure, and count
+// them.
+func TestMulticastFanOutContinuesPastFailure(t *testing.T) {
+	a, d := mixedRing(t)
+	err := a.Multicast([]byte("payload"))
+	if err == nil {
+		t.Fatal("multicast with unreachable peers reported no error")
+	}
+	if n := strings.Count(err.Error(), "emulated multicast to"); n != 2 {
+		t.Fatalf("aggregated error reports %d peer failures, want 2:\n%v", n, err)
+	}
+	// The peer behind the failures still got the packet.
+	if got := recvWithin(t, d.Data(), 2*time.Second); string(got) != "payload" {
+		t.Fatalf("reachable peer received %q", got)
+	}
+	snap := a.MetricsSnapshot()
+	if snap.PeerSendErrors != 2 {
+		t.Fatalf("PeerSendErrors = %d, want 2", snap.PeerSendErrors)
+	}
+	if snap.DatagramsOut != 1 || snap.FanoutSends != 1 {
+		t.Fatalf("out=%d fanout=%d, want 1/1 (only the successful send counts)",
+			snap.DatagramsOut, snap.FanoutSends)
+	}
+}
+
+// TestMulticastBatchContinuesPastFailure: the batched fan-out keeps the
+// same partial-failure contract — unencodable/unreachable destinations are
+// skipped and reported per peer, the rest of the burst is delivered.
+func TestMulticastBatchContinuesPastFailure(t *testing.T) {
+	a, d := mixedRing(t)
+	err := a.MulticastBatch([][]byte{[]byte("m1"), []byte("m2")})
+	if err == nil {
+		t.Fatal("batched multicast with unreachable peers reported no error")
+	}
+	if n := strings.Count(err.Error(), "emulated multicast to"); n != 4 {
+		t.Fatalf("aggregated error reports %d peer failures, want 4 (2 pkts x 2 bad peers):\n%v", n, err)
+	}
+	got := map[string]bool{}
+	for len(got) < 2 {
+		got[string(recvWithin(t, d.Data(), 2*time.Second))] = true
+	}
+	if !got["m1"] || !got["m2"] {
+		t.Fatalf("reachable peer received %v, want m1 and m2", got)
+	}
+	snap := a.MetricsSnapshot()
+	if snap.PeerSendErrors != 4 {
+		t.Fatalf("PeerSendErrors = %d, want 4", snap.PeerSendErrors)
+	}
+	if snap.DatagramsOut != 2 {
+		t.Fatalf("DatagramsOut = %d, want 2", snap.DatagramsOut)
+	}
+}
+
+// TestListenAddrPolicy pins the bind-address selection rules.
+func TestListenAddrPolicy(t *testing.T) {
+	cases := []struct {
+		host     string
+		wildcard bool
+		wantIP   string
+	}{
+		{host: "", wildcard: true},
+		{host: "127.0.0.1", wantIP: "127.0.0.1"},
+		{host: "::1", wantIP: "::1"},
+		{host: "localhost", wildcard: true}, // hostname -> loopback: keep wildcard
+	}
+	for _, tc := range cases {
+		addr, err := listenAddr(tc.host, 7400)
+		if err != nil {
+			t.Fatalf("listenAddr(%q): %v", tc.host, err)
+		}
+		if addr.Port != 7400 {
+			t.Fatalf("listenAddr(%q) port = %d", tc.host, addr.Port)
+		}
+		if tc.wildcard {
+			if addr.IP != nil && !addr.IP.IsUnspecified() {
+				t.Fatalf("listenAddr(%q) = %v, want wildcard", tc.host, addr.IP)
+			}
+			continue
+		}
+		if !addr.IP.Equal(net.ParseIP(tc.wantIP)) {
+			t.Fatalf("listenAddr(%q) = %v, want %s", tc.host, addr.IP, tc.wantIP)
+		}
+	}
+}
+
+// TestSocketsBindConfiguredHost is the regression test for the wildcard
+// bind bug: the listen sockets ignored Peer.Host and bound every
+// interface. A concrete configured address must be honored on both the
+// token and data sockets.
+func TestSocketsBindConfiguredHost(t *testing.T) {
+	ports := freePorts(t, 2)
+	peers := map[wire.ParticipantID]Peer{
+		1: {Host: "127.0.0.1", DataPort: ports[0], TokenPort: ports[1]},
+	}
+	tr, err := New(Config{MyID: 1, Peers: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	for name, conn := range map[string]*net.UDPConn{"token": tr.tokenConn, "data": tr.dataConn} {
+		ip := conn.LocalAddr().(*net.UDPAddr).IP
+		if !ip.Equal(net.IPv4(127, 0, 0, 1)) {
+			t.Fatalf("%s socket bound %v, want 127.0.0.1", name, ip)
+		}
+	}
+}
+
+// TestMulticastBatchDelivers checks the burst path end to end in
+// emulation mode and, where batching is compiled in, that the burst moved
+// with amortized syscalls.
+func TestMulticastBatchDelivers(t *testing.T) {
+	a, b := pair(t)
+	const burst = 12
+	pkts := make([][]byte, burst)
+	for i := range pkts {
+		pkts[i] = []byte(fmt.Sprintf("burst-%02d", i))
+	}
+	if err := a.MulticastBatch(pkts); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, p := range pkts {
+		want[string(p)] = true
+	}
+	for i := 0; i < burst; i++ {
+		got := string(recvWithin(t, b.Data(), 2*time.Second))
+		if !want[got] {
+			t.Fatalf("received unexpected or duplicate packet %q", got)
+		}
+		delete(want, got)
+	}
+	snap := a.MetricsSnapshot()
+	if snap.DatagramsOut != burst || snap.FanoutSends != burst {
+		t.Fatalf("out=%d fanout=%d, want %d/%d", snap.DatagramsOut, snap.FanoutSends, burst, burst)
+	}
+	if batchingSupported {
+		if snap.SendSyscalls >= burst {
+			t.Fatalf("SendSyscalls = %d for a %d-packet burst: no amortization", snap.SendSyscalls, burst)
+		}
+		if snap.SendBatch.Max < 2 {
+			t.Fatalf("SendBatch.Max = %d, want >= 2", snap.SendBatch.Max)
+		}
+	}
+}
+
+// TestMulticastBatchDisabled: DisableBatch falls back to one-at-a-time
+// sends with identical delivery semantics.
+func TestMulticastBatchDisabled(t *testing.T) {
+	ports := freePorts(t, 4)
+	peers := map[wire.ParticipantID]Peer{
+		1: {Host: "127.0.0.1", DataPort: ports[0], TokenPort: ports[1]},
+		2: {Host: "127.0.0.1", DataPort: ports[2], TokenPort: ports[3]},
+	}
+	a, err := New(Config{MyID: 1, Peers: peers, DisableBatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := New(Config{MyID: 2, Peers: peers, DisableBatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	pkts := [][]byte{[]byte("x1"), []byte("x2"), []byte("x3")}
+	if err := a.MulticastBatch(pkts); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(pkts); i++ {
+		recvWithin(t, b.Data(), 2*time.Second)
+	}
+	snap := a.MetricsSnapshot()
+	if snap.SendSyscalls != 3 {
+		t.Fatalf("SendSyscalls = %d with batching disabled, want 3", snap.SendSyscalls)
+	}
+	if mean := snap.SendBatch.Mean; mean != 1 {
+		t.Fatalf("SendBatch.Mean = %v with batching disabled, want 1", mean)
+	}
+}
+
+// TestMulticastBatchEmptyAndSingleton: edge cases — an empty burst is a
+// no-op, and a singleton ring (no peers to fan out to) succeeds silently.
+func TestMulticastBatchEmptyAndSingleton(t *testing.T) {
+	ports := freePorts(t, 2)
+	peers := map[wire.ParticipantID]Peer{1: {Host: "127.0.0.1", DataPort: ports[0], TokenPort: ports[1]}}
+	tr, err := New(Config{MyID: 1, Peers: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.MulticastBatch(nil); err != nil {
+		t.Fatalf("empty burst: %v", err)
+	}
+	if err := tr.MulticastBatch([][]byte{[]byte("solo")}); err != nil {
+		t.Fatalf("singleton ring burst: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.MulticastBatch([][]byte{[]byte("x")}); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("MulticastBatch after close = %v, want ErrClosed", err)
+	}
+}
+
+// TestCloseRacesConcurrentSends hammers every send path while Close runs.
+// Run under -race (CI does): the invariants are no data race, no send on
+// a closed socket panic, and no pooled-buffer corruption — errors from
+// the losing senders are expected and ignored.
+func TestCloseRacesConcurrentSends(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		ports := freePorts(t, 4)
+		peers := map[wire.ParticipantID]Peer{
+			1: {Host: "127.0.0.1", DataPort: ports[0], TokenPort: ports[1]},
+			2: {Host: "127.0.0.1", DataPort: ports[2], TokenPort: ports[3]},
+		}
+		a, err := New(Config{MyID: 1, Peers: peers, Logf: func(string, ...any) {}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 3; g++ {
+			wg.Add(3)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 200; i++ {
+					_ = a.Multicast([]byte("mc"))
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				<-start
+				burst := [][]byte{[]byte("b1"), []byte("b2"), []byte("b3")}
+				for i := 0; i < 100; i++ {
+					_ = a.MulticastBatch(burst)
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 200; i++ {
+					_ = a.Unicast(2, []byte("tk"))
+				}
+			}()
+		}
+		close(start)
+		time.Sleep(time.Duration(round) * 500 * time.Microsecond)
+		if err := a.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		if err := a.Close(); err != nil {
+			t.Fatal("double close errored")
+		}
+	}
+}

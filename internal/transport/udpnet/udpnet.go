@@ -3,13 +3,25 @@
 // as Section III-D of the paper describes. Where IP-multicast is not
 // available (some container and cloud networks), the transport can emulate
 // it with unicast fan-out — the same option Spread provides.
+//
+// On Linux the receive and multicast-burst send paths run on batched
+// syscalls (recvmmsg/sendmmsg, see batchio_linux.go): up to batchK
+// datagrams move per syscall, which is what keeps the per-message network
+// cost sublinear once the hot path stops allocating. Other platforms (and
+// Config.DisableBatch) use the portable one-datagram-at-a-time paths with
+// identical semantics.
 package udpnet
 
 import (
+	"errors"
 	"fmt"
+	"log"
 	"net"
 	"net/netip"
+	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"accelring/internal/transport"
 	"accelring/internal/wire"
@@ -46,6 +58,21 @@ type Config struct {
 	MulticastGroup string
 	// QueueLen overrides the receive channel depth (default 4096).
 	QueueLen int
+	// DisableBatch forces the portable one-datagram-per-syscall paths even
+	// where recvmmsg/sendmmsg are available — the control arm for syscall
+	// benchmarks and a safety hatch.
+	DisableBatch bool
+	// Logf, when set, receives the transport's rare diagnostics (transient
+	// receive errors survived with backoff). Nil uses the standard logger.
+	Logf func(format string, args ...any)
+}
+
+// emuPeer is one unicast-emulation fan-out destination. The list is sorted
+// by participant ID so fan-out order (and therefore partial-failure
+// reporting) is deterministic, unlike the map iteration it replaces.
+type emuPeer struct {
+	id   wire.ParticipantID
+	addr netip.AddrPort
 }
 
 // Transport is a UDP/IP-multicast transport endpoint.
@@ -61,9 +88,19 @@ type Transport struct {
 	// the zero AddrPort disables self-filtering. Addresses are netip
 	// values, not *net.UDPAddr, so the send and receive paths stay free
 	// of per-packet address allocations.
-	selfAddr  netip.AddrPort
-	peers     map[wire.ParticipantID]netip.AddrPort // token addresses
-	dataAddrs map[wire.ParticipantID]netip.AddrPort // data addresses (emulation)
+	selfAddr netip.AddrPort
+	peers    map[wire.ParticipantID]netip.AddrPort // token addresses
+	emuPeers []emuPeer                             // data fan-out targets (emulation), self excluded
+
+	// Batched send state (nil when batching is unavailable or disabled):
+	// dataW wraps the data send socket — dataSend in multicast mode,
+	// dataConn in emulation mode. sendMu serializes use of the writer and
+	// its flattening scratch; the Transport contract promises a single
+	// sender, but Close (and belt-and-braces callers) may race.
+	sendMu   sync.Mutex
+	dataW    *batchWriter
+	emuPkts  [][]byte
+	emuAddrs []netip.AddrPort
 
 	data  chan []byte
 	token chan []byte
@@ -74,6 +111,7 @@ type Transport struct {
 }
 
 var _ transport.Transport = (*Transport)(nil)
+var _ transport.BatchSender = (*Transport)(nil)
 
 // New opens the sockets and starts the receive loops.
 func New(cfg Config) (*Transport, error) {
@@ -86,26 +124,33 @@ func New(cfg Config) (*Transport, error) {
 		queue = defaultQueue
 	}
 	t := &Transport{
-		cfg:       cfg,
-		peers:     make(map[wire.ParticipantID]netip.AddrPort, len(cfg.Peers)),
-		dataAddrs: make(map[wire.ParticipantID]netip.AddrPort, len(cfg.Peers)),
-		data:      make(chan []byte, queue),
-		token:     make(chan []byte, queue),
+		cfg:   cfg,
+		peers: make(map[wire.ParticipantID]netip.AddrPort, len(cfg.Peers)),
+		data:  make(chan []byte, queue),
+		token: make(chan []byte, queue),
 	}
 	for id, p := range cfg.Peers {
-		tokenAddr, err := net.ResolveUDPAddr("udp", fmt.Sprintf("%s:%d", p.Host, p.TokenPort))
+		// JoinHostPort (not "%s:%d") so IPv6 literal hosts resolve.
+		tokenAddr, err := net.ResolveUDPAddr("udp", net.JoinHostPort(p.Host, strconv.Itoa(p.TokenPort)))
 		if err != nil {
 			return nil, fmt.Errorf("udpnet: resolving %s token address: %w", id, err)
 		}
 		t.peers[id] = unmapAddrPort(tokenAddr.AddrPort())
-		dataAddr, err := net.ResolveUDPAddr("udp", fmt.Sprintf("%s:%d", p.Host, p.DataPort))
+		dataAddr, err := net.ResolveUDPAddr("udp", net.JoinHostPort(p.Host, strconv.Itoa(p.DataPort)))
 		if err != nil {
 			return nil, fmt.Errorf("udpnet: resolving %s data address: %w", id, err)
 		}
-		t.dataAddrs[id] = unmapAddrPort(dataAddr.AddrPort())
+		if id != cfg.MyID {
+			t.emuPeers = append(t.emuPeers, emuPeer{id: id, addr: unmapAddrPort(dataAddr.AddrPort())})
+		}
 	}
+	sort.Slice(t.emuPeers, func(i, j int) bool { return t.emuPeers[i].id < t.emuPeers[j].id })
 
-	tokenConn, err := net.ListenUDP("udp", &net.UDPAddr{Port: me.TokenPort})
+	tokenBind, err := listenAddr(me.Host, me.TokenPort)
+	if err != nil {
+		return nil, fmt.Errorf("udpnet: token bind address: %w", err)
+	}
+	tokenConn, err := net.ListenUDP("udp", tokenBind)
 	if err != nil {
 		return nil, fmt.Errorf("udpnet: binding token socket: %w", err)
 	}
@@ -141,7 +186,12 @@ func New(cfg Config) (*Transport, error) {
 			t.selfAddr = unmapAddrPort(la.AddrPort())
 		}
 	} else {
-		dataConn, err := net.ListenUDP("udp", &net.UDPAddr{Port: me.DataPort})
+		dataBind, err := listenAddr(me.Host, me.DataPort)
+		if err != nil {
+			t.tokenConn.Close()
+			return nil, fmt.Errorf("udpnet: data bind address: %w", err)
+		}
+		dataConn, err := net.ListenUDP("udp", dataBind)
 		if err != nil {
 			t.tokenConn.Close()
 			return nil, fmt.Errorf("udpnet: binding data socket: %w", err)
@@ -149,10 +199,54 @@ func New(cfg Config) (*Transport, error) {
 		t.dataConn = dataConn
 	}
 
+	if batchingSupported && !cfg.DisableBatch {
+		// Wrap the data send socket for sendmmsg bursts. Failure to get raw
+		// access is not fatal — the single-send paths remain correct.
+		sendSock := t.dataSend
+		if sendSock == nil {
+			sendSock = t.dataConn
+		}
+		if w, err := newBatchWriter(sendSock); err == nil {
+			w.onSyscall = func(sent int) {
+				t.SendSyscalls.Inc()
+				if sent > 0 {
+					t.SendBatch.Observe(sent)
+				}
+			}
+			t.dataW = w
+		}
+	}
+
 	t.wg.Add(2)
 	go t.readLoop(t.dataConn, t.data, t.selfAddr)
 	go t.readLoop(t.tokenConn, t.token, netip.AddrPort{})
 	return t, nil
+}
+
+// listenAddr picks the local bind address for a listen socket. The
+// configured host is honored when it names a concrete address — binding
+// the wildcard there (as `net.UDPAddr{Port: ...}` silently did) accepts
+// traffic on every interface, not just the one the operator configured.
+// The wildcard is preserved in two cases: an empty host, and a hostname
+// that resolves to loopback (the common /etc/hosts alias for the
+// machine's own name — binding loopback there would stop remote peers
+// from reaching this node at all). A literal loopback IP still binds
+// loopback: writing "127.0.0.1" is an explicit choice.
+func listenAddr(host string, port int) (*net.UDPAddr, error) {
+	if host == "" {
+		return &net.UDPAddr{Port: port}, nil
+	}
+	if ip := net.ParseIP(host); ip != nil {
+		return &net.UDPAddr{IP: ip, Port: port}, nil
+	}
+	addr, err := net.ResolveUDPAddr("udp", net.JoinHostPort(host, "0"))
+	if err != nil {
+		return nil, err
+	}
+	if addr.IP.IsLoopback() {
+		return &net.UDPAddr{Port: port}, nil
+	}
+	return &net.UDPAddr{IP: addr.IP, Port: port}, nil
 }
 
 // unmapAddrPort normalizes 4-in-6 mapped addresses so netip comparisons
@@ -162,10 +256,89 @@ func unmapAddrPort(ap netip.AddrPort) netip.AddrPort {
 	return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
 }
 
-// readLoop pumps packets from a socket into a channel, counting overflow
-// drops (like a full kernel socket buffer, but accounted). Packets whose
-// source address matches self are this endpoint's own multicast loopback
-// copies and are filtered.
+// isSelf reports whether src is this endpoint's own multicast loopback
+// copy (the send socket's source address, with an unspecified-address
+// wildcard for multi-homed hosts).
+func isSelf(src, self netip.AddrPort) bool {
+	return self.IsValid() && src.Port() == self.Port() &&
+		(self.Addr().IsUnspecified() || src.Addr().Unmap() == self.Addr())
+}
+
+func (t *Transport) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+func (t *Transport) logf(format string, args ...any) {
+	if t.cfg.Logf != nil {
+		t.cfg.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// recvState tracks a receive loop's error-recovery state: one log line per
+// error burst, exponential backoff between retries, both reset by the next
+// successful read.
+type recvState struct {
+	logged  bool
+	backoff time.Duration
+}
+
+func (rs *recvState) ok() { rs.logged = false; rs.backoff = 0 }
+
+// surviveRecvErr decides whether a receive loop keeps serving after err.
+// Close is the only way a loop ends: net.ErrClosed (or the transport's
+// closed flag, for raw errnos surfaced after the fd was torn down) stops
+// it. Everything else — ICMP-induced socket errors, momentary ENOBUFS/
+// ENOMEM — is transient: counted, logged once per burst, and retried with
+// exponential backoff so a persistent fault cannot spin the CPU. The old
+// loop returned on ANY error, silently killing the receive path for the
+// node's remaining lifetime.
+func (t *Transport) surviveRecvErr(err error, rs *recvState) bool {
+	if errors.Is(err, net.ErrClosed) || t.isClosed() {
+		return false
+	}
+	t.RecvTransient.Inc()
+	if !rs.logged {
+		t.logf("udpnet: transient receive error (loop continues): %v", err)
+		rs.logged = true
+	}
+	switch {
+	case rs.backoff == 0:
+		rs.backoff = time.Millisecond
+	case rs.backoff < 100*time.Millisecond:
+		rs.backoff *= 2
+	}
+	time.Sleep(rs.backoff)
+	return true
+}
+
+// readLoop pumps packets from a socket into a channel, choosing the
+// batched (recvmmsg) implementation when the build and configuration
+// allow it and raw socket access is available.
+func (t *Transport) readLoop(conn *net.UDPConn, ch chan []byte, self netip.AddrPort) {
+	defer t.wg.Done()
+	if batchingSupported && !t.cfg.DisableBatch {
+		if br, err := newBatchReader(conn, transport.Buffers); err == nil {
+			t.readLoopBatch(br, ch, self)
+			return
+		}
+	}
+	t.readLoopPortable(conn, ch, self)
+}
+
+// singleReader is the portable receive loop's socket dependency;
+// *net.UDPConn satisfies it and tests inject fakes to exercise the
+// loop's error handling deterministically.
+type singleReader interface {
+	ReadFromUDPAddrPort(b []byte) (int, netip.AddrPort, error)
+}
+
+// readLoopPortable is the one-datagram-per-syscall receive loop, counting
+// overflow drops (like a full kernel socket buffer, but accounted) and
+// filtering this endpoint's own multicast loopback copies.
 //
 // The loop reads into buffers from the shared pool and hands each accepted
 // packet to the channel still backed by its pooled buffer — ownership
@@ -174,68 +347,198 @@ func unmapAddrPort(ap netip.AddrPort) netip.AddrPort {
 // steady state is one pool Get per accepted packet and zero allocations
 // (ReadFromUDPAddrPort returns the source as a value, unlike ReadFromUDP's
 // per-call *net.UDPAddr).
-func (t *Transport) readLoop(conn *net.UDPConn, ch chan []byte, self netip.AddrPort) {
-	defer t.wg.Done()
+func (t *Transport) readLoopPortable(conn singleReader, ch chan<- []byte, self netip.AddrPort) {
 	buf := transport.Buffers.Get()
 	defer func() { transport.Buffers.Put(buf) }()
+	var rs recvState
 	for {
 		n, src, err := conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
-			return // socket closed
-		}
-		if self.IsValid() && src.Port() == self.Port() &&
-			(self.Addr().IsUnspecified() || src.Addr().Unmap() == self.Addr()) {
-			t.SelfFiltered.Inc()
+			if !t.surviveRecvErr(err, &rs) {
+				return
+			}
 			continue
 		}
-		select {
-		case ch <- buf[:n]:
-			t.In.Inc()
-			buf = transport.Buffers.Get()
-		default:
-			t.Drops.Inc()
+		rs.ok()
+		t.RecvSyscalls.Inc()
+		t.RecvBatch.Observe(1)
+		buf = t.acceptPacket(ch, buf, n, src, self)
+	}
+}
+
+// acceptPacket applies the self-filter and queue handoff for one received
+// packet and returns the buffer to read into next: a fresh pooled buffer
+// when ownership moved to the channel, the same one otherwise.
+func (t *Transport) acceptPacket(ch chan<- []byte, buf []byte, n int, src, self netip.AddrPort) []byte {
+	if isSelf(src, self) {
+		t.SelfFiltered.Inc()
+		return buf
+	}
+	select {
+	case ch <- buf[:n]:
+		t.In.Inc()
+		return transport.Buffers.Get()
+	default:
+		t.Drops.Inc()
+		return buf
+	}
+}
+
+// readLoopBatch drains the socket with recvmmsg: one syscall moves up to
+// batchK datagrams. Accepted packets detach their pooled buffer (the
+// reader replaces it); filtered and dropped packets reuse theirs — the
+// same ownership contract as the portable loop, vectorized.
+func (t *Transport) readLoopBatch(br *batchReader, ch chan<- []byte, self netip.AddrPort) {
+	defer br.release()
+	var rs recvState
+	for {
+		n, err := br.read()
+		if err != nil {
+			if !t.surviveRecvErr(err, &rs) {
+				return
+			}
+			continue
+		}
+		rs.ok()
+		t.RecvSyscalls.Inc()
+		t.RecvBatch.Observe(n)
+		for i := 0; i < n; i++ {
+			if isSelf(br.addr(i), self) {
+				t.SelfFiltered.Inc()
+				continue
+			}
+			select {
+			case ch <- br.buffer(i)[:br.length(i)]:
+				t.In.Inc()
+				br.detach(i)
+			default:
+				t.Drops.Inc()
+			}
 		}
 	}
 }
 
 // Multicast implements transport.Transport.
 func (t *Transport) Multicast(pkt []byte) error {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
+	if t.isClosed() {
 		return transport.ErrClosed
 	}
-	t.mu.Unlock()
 	if t.groupAddr != nil {
-		_, err := t.dataSend.Write(pkt)
-		if err != nil {
+		if _, err := t.dataSend.Write(pkt); err != nil {
 			return fmt.Errorf("udpnet: multicast: %w", err)
 		}
 		t.Out.Inc()
+		t.SendSyscalls.Inc()
+		t.SendBatch.Observe(1)
 		return nil
 	}
-	// Unicast emulation: fan out to every peer's data port.
-	for id, addr := range t.dataAddrs {
-		if id == t.cfg.MyID {
+	// Unicast emulation: fan out to every peer's data port. A failed peer
+	// must not starve the ones after it — the ring tolerates one receiver
+	// missing a message (retransmission recovers it), but a fan-out that
+	// aborts mid-iteration silently partitions every peer behind the
+	// failure. Errors aggregate instead.
+	var errs []error
+	for _, p := range t.emuPeers {
+		if _, err := t.dataConn.WriteToUDPAddrPort(pkt, p.addr); err != nil {
+			t.PeerSendErrs.Inc()
+			errs = append(errs, fmt.Errorf("udpnet: emulated multicast to %s: %w", p.id, err))
 			continue
-		}
-		if _, err := t.dataConn.WriteToUDPAddrPort(pkt, addr); err != nil {
-			return fmt.Errorf("udpnet: emulated multicast to %s: %w", id, err)
 		}
 		t.Out.Inc()
 		t.Fanout.Inc()
+		t.SendSyscalls.Inc()
+		t.SendBatch.Observe(1)
 	}
-	return nil
+	return errors.Join(errs...)
+}
+
+// MulticastBatch implements transport.BatchSender: semantically identical
+// to calling Multicast for each packet, but the whole burst moves with
+// one sendmmsg per batchK datagrams. In emulation mode the flattened
+// (packet × peer) fan-out is batched the same way, so a K-message burst
+// to N peers costs ⌈K·N/batchK⌉ syscalls instead of K·N.
+func (t *Transport) MulticastBatch(pkts [][]byte) error {
+	if len(pkts) == 0 {
+		return nil
+	}
+	if t.isClosed() {
+		return transport.ErrClosed
+	}
+	t.sendMu.Lock()
+	w := t.dataW
+	t.sendMu.Unlock()
+	if w == nil {
+		// Portable fallback: one-at-a-time semantics, aggregated errors.
+		var errs []error
+		for _, pkt := range pkts {
+			if err := t.Multicast(pkt); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		return errors.Join(errs...)
+	}
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	var errs []error
+	failed := 0
+	if t.groupAddr != nil {
+		sendErr := w.send(pkts, nil, func(i int, e error) {
+			failed++
+			errs = append(errs, fmt.Errorf("udpnet: multicast (burst %d/%d): %w", i+1, len(pkts), e))
+		})
+		if sendErr != nil {
+			return t.sendFatal(sendErr)
+		}
+		t.Out.Add(uint64(len(pkts) - failed))
+		return errors.Join(errs...)
+	}
+	if len(t.emuPeers) == 0 {
+		return nil // singleton ring: multicast reaches nobody but self
+	}
+	// Flatten burst × peers into one vector. The scratch slices are
+	// retained across calls (guarded by sendMu) and the packet aliases
+	// cleared afterwards, so the steady state allocates nothing.
+	flatPkts := t.emuPkts[:0]
+	flatAddrs := t.emuAddrs[:0]
+	for _, pkt := range pkts {
+		for _, p := range t.emuPeers {
+			flatPkts = append(flatPkts, pkt)
+			flatAddrs = append(flatAddrs, p.addr)
+		}
+	}
+	sendErr := w.send(flatPkts, flatAddrs, func(i int, e error) {
+		failed++
+		t.PeerSendErrs.Inc()
+		p := t.emuPeers[i%len(t.emuPeers)]
+		errs = append(errs, fmt.Errorf("udpnet: emulated multicast to %s: %w", p.id, e))
+	})
+	sent := len(flatPkts) - failed
+	for i := range flatPkts {
+		flatPkts[i] = nil
+	}
+	t.emuPkts, t.emuAddrs = flatPkts[:0], flatAddrs[:0]
+	if sendErr != nil {
+		return t.sendFatal(sendErr)
+	}
+	t.Out.Add(uint64(sent))
+	t.Fanout.Add(uint64(sent))
+	return errors.Join(errs...)
+}
+
+// sendFatal normalizes a terminal batch-send error (the raw socket went
+// away mid-call) to the transport's close semantics.
+func (t *Transport) sendFatal(err error) error {
+	if errors.Is(err, net.ErrClosed) || t.isClosed() {
+		return transport.ErrClosed
+	}
+	return fmt.Errorf("udpnet: batched multicast: %w", err)
 }
 
 // Unicast implements transport.Transport.
 func (t *Transport) Unicast(to wire.ParticipantID, pkt []byte) error {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
+	if t.isClosed() {
 		return transport.ErrClosed
 	}
-	t.mu.Unlock()
 	addr, ok := t.peers[to]
 	if !ok {
 		return fmt.Errorf("%w: %s", transport.ErrUnknownPeer, to)
@@ -244,6 +547,8 @@ func (t *Transport) Unicast(to wire.ParticipantID, pkt []byte) error {
 		return fmt.Errorf("udpnet: unicast to %s: %w", to, err)
 	}
 	t.Out.Inc()
+	t.SendSyscalls.Inc()
+	t.SendBatch.Observe(1)
 	return nil
 }
 

@@ -285,9 +285,33 @@ func (n *Node) handlePacket(eng *core.Engine, ts *timerSet, pkt []byte) {
 // into the node's reused scratch buffer: the Transport contract says sends
 // borrow pkt only for the duration of the call, so the buffer is free again
 // by the time the next action encodes.
+//
+// Runs of two or more consecutive SendData actions are flushed through the
+// transport's batched multicast path when it offers one. The engine emits
+// exactly such runs at token hand-off — the pre-token retransmission+window
+// run, and the post-token accelerated flush of up to AcceleratedWindow
+// frames that overlaps with the successor's round — so batching here turns
+// the protocol's characteristic bursts into single sendmmsg calls without
+// changing action semantics or ordering.
 func (n *Node) execute(eng *core.Engine, ts *timerSet, actions []core.Action) {
-	for _, a := range actions {
-		switch act := a.(type) {
+	for i := 0; i < len(actions); i++ {
+		if n.batcher != nil {
+			if _, ok := actions[i].(core.SendData); ok {
+				j := i + 1
+				for j < len(actions) {
+					if _, ok := actions[j].(core.SendData); !ok {
+						break
+					}
+					j++
+				}
+				if j-i >= 2 {
+					n.sendBurst(actions[i:j])
+					i = j - 1
+					continue
+				}
+			}
+		}
+		switch act := actions[i].(type) {
 		case core.SendData:
 			pkt, err := wire.AppendData(n.encBuf[:0], act.Msg)
 			if err != nil {
@@ -351,6 +375,42 @@ func (n *Node) execute(eng *core.Engine, ts *timerSet, actions []core.Action) {
 			ts.cancel(act.Kind)
 		}
 	}
+}
+
+// sendBurst encodes a run of SendData actions into pooled buffers and
+// flushes them with one MulticastBatch call. The single-packet encode
+// scratch cannot back a whole burst (every packet must stay valid until
+// the batch call returns), so each frame gets its own pooled buffer,
+// borrowed for the duration of the call and recycled immediately after.
+// Encode failures skip that frame; the rest of the burst still goes out.
+func (n *Node) sendBurst(run []core.Action) {
+	n.burstBufs = transport.Buffers.GetBatch(n.burstBufs[:0], len(run))
+	pkts := n.burstPkts[:0]
+	for k, a := range run {
+		act := a.(core.SendData)
+		pkt, err := wire.AppendData(n.burstBufs[k][:0], act.Msg)
+		if err != nil {
+			n.nm.encodeFailures.Inc()
+			n.noteErr(err)
+			continue
+		}
+		n.burstBufs[k] = pkt[:cap(pkt)]
+		pkts = append(pkts, pkt)
+	}
+	if len(pkts) > 0 {
+		if err := n.batcher.MulticastBatch(pkts); err != nil {
+			n.nm.sendFailures.Inc()
+			n.noteErr(err)
+		}
+		n.nm.sendBursts.Inc()
+		n.nm.sendBurstMsgs.Add(uint64(len(pkts)))
+	}
+	transport.Buffers.PutBatch(n.burstBufs)
+	n.burstBufs = n.burstBufs[:0]
+	for k := range pkts {
+		pkts[k] = nil
+	}
+	n.burstPkts = pkts[:0]
 }
 
 // deliver blocks until the application accepts the event (or the node is

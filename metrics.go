@@ -45,6 +45,13 @@ type RuntimeMetrics struct {
 	// be carried out.
 	EncodeFailures uint64 `json:"encode_failures"`
 	SendFailures   uint64 `json:"send_failures"`
+	// SendBursts counts runs of consecutive SendData actions flushed
+	// through the transport's batched multicast path; SendBurstMsgs is the
+	// total frames those bursts carried (so SendBurstMsgs/SendBursts is
+	// the mean burst length the engine produced). Zero when the transport
+	// has no batch path.
+	SendBursts    uint64 `json:"send_bursts"`
+	SendBurstMsgs uint64 `json:"send_burst_msgs"`
 	// TimerFires counts timer expiries executed; TimerStaleDrops counts
 	// expiries discarded because the timer was re-armed or cancelled while
 	// the fire was in flight; TimerCancels counts CancelTimer actions.
@@ -101,6 +108,8 @@ type nodeMetrics struct {
 	decodeFailures                        metrics.Counter
 	encodeFailures                        metrics.Counter
 	sendFailures                          metrics.Counter
+	sendBursts                            metrics.Counter
+	sendBurstMsgs                         metrics.Counter
 	timerFires                            metrics.Counter
 	timerStale                            metrics.Counter
 	timerCancels                          metrics.Counter
@@ -133,6 +142,8 @@ func (m *nodeMetrics) runtimeSnapshot(n *Node) RuntimeMetrics {
 		DecodeFailures:  m.decodeFailures.Load(),
 		EncodeFailures:  m.encodeFailures.Load(),
 		SendFailures:    m.sendFailures.Load(),
+		SendBursts:      m.sendBursts.Load(),
+		SendBurstMsgs:   m.sendBurstMsgs.Load(),
 		TimerFires:      m.timerFires.Load(),
 		TimerStaleDrops: m.timerStale.Load(),
 		TimerCancels:    m.timerCancels.Load(),
