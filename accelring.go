@@ -151,6 +151,19 @@ type Options struct {
 	PackThreshold int
 	// Tracer, when non-nil, observes protocol-level events.
 	Tracer Tracer
+	// WatchdogInterval enables the liveness watchdog: a sampling goroutine
+	// that checks every interval whether the protocol loop made progress
+	// (packets handled, timers fired, submits accepted, events delivered)
+	// while work was pending, and flags a stall otherwise — catching a
+	// wedged loop (e.g. blocked on an undrained Events channel) that a
+	// liveness check through the loop itself would hang on. Zero disables
+	// it. Stalls count in Metrics (Runtime.WatchdogStalls) and are
+	// reported to OnStall.
+	WatchdogInterval time.Duration
+	// OnStall, when non-nil, receives a report for every stalled check.
+	// Called from the watchdog goroutine; must not block on the stalled
+	// loop (Submit, Stats, Metrics all round-trip it).
+	OnStall func(StallReport)
 	// AdaptiveWindow enables AIMD adaptation of the accelerated window
 	// between 0 and the personal window, replacing hand-tuning: it halves
 	// on retransmission bursts and creeps back up on clean streaks.
@@ -174,6 +187,11 @@ type Node struct {
 	// protocol goroutine.
 	nm          *nodeMetrics
 	lastTokenAt time.Time
+
+	// timers is the runtime timer set. It lives on the Node (not the loop)
+	// so the watchdog can count pending unconsumed fires without touching
+	// the possibly-wedged protocol goroutine.
+	timers *timerSet
 
 	// Protocol-goroutine-owned scratch state keeping the steady-state hot
 	// path allocation-free: encBuf is the reused encode buffer for every
@@ -273,6 +291,7 @@ func Start(opts Options) (*Node, error) {
 	if bs, ok := opts.Transport.(transport.BatchSender); ok {
 		n.batcher = bs
 	}
+	n.timers = newTimerSet(&n.nm.timerStale)
 
 	var initial []core.Action
 	if len(opts.Members) > 0 {
@@ -285,6 +304,9 @@ func Start(opts Options) (*Node, error) {
 	}
 
 	go n.loop(eng, initial)
+	if opts.WatchdogInterval > 0 {
+		go n.watchdog(opts.WatchdogInterval, opts.OnStall)
+	}
 	return n, nil
 }
 

@@ -29,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"accelring"
 	"accelring/internal/daemon"
@@ -59,6 +60,14 @@ func run() int {
 	adaptive := flag.Bool("adaptive-window", false, "adapt the accelerated window automatically (AIMD) instead of hand-tuning")
 	fanoutPolicy := flag.String("fanout-policy", "disconnect", "slow-client backpressure policy: disconnect, shed or block")
 	fanoutQueue := flag.Int("fanout-queue", 0, "per-client delivery queue depth in frames (0 = default 8192)")
+	tokenLoss := flag.Duration("token-loss", 0, "token loss (failure detection) timeout; 0 = protocol default")
+	tokenRetrans := flag.Duration("token-retrans", 0, "token retransmission period; 0 = protocol default")
+	consensusTimeout := flag.Duration("consensus-timeout", 0, "membership consensus timeout; 0 = protocol default")
+	commitTimeout := flag.Duration("commit-timeout", 0, "membership commit timeout; 0 = protocol default")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful drain budget on the first SIGTERM/SIGINT: stop accepting, announce the drain, flush client queues, leave the ring")
+	resumeWindow := flag.Duration("resume-window", 30*time.Second, "how long a disconnected client's session (queue, interests, delivery cursor) is held for resume; 0 disables session resume")
+	resumeHistory := flag.Int("resume-history", 1024, "per-client history of already-written frames kept for resume replay (0 disables rewind; resumes then report a gap unless the client is fully caught up)")
+	watchdogInterval := flag.Duration("watchdog-interval", 5*time.Second, "liveness watchdog check period for the protocol loop; 0 disables")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "ringd: ", log.LstdFlags|log.Lmicroseconds)
@@ -121,9 +130,18 @@ func run() int {
 			Personal:    *personalWindow,
 			Accelerated: *accelWindow,
 		},
-		PackThreshold:  *pack,
-		Tracer:         maybeTracer(*verbose, logger),
-		AdaptiveWindow: *adaptive,
+		TokenLossTimeout:   *tokenLoss,
+		TokenRetransPeriod: *tokenRetrans,
+		ConsensusTimeout:   *consensusTimeout,
+		CommitTimeout:      *commitTimeout,
+		PackThreshold:      *pack,
+		Tracer:             maybeTracer(*verbose, logger),
+		AdaptiveWindow:     *adaptive,
+		WatchdogInterval:   *watchdogInterval,
+		OnStall: func(r accelring.StallReport) {
+			logger.Printf("watchdog: protocol loop stalled for %s (data=%d token=%d timers=%d eventsFull=%v)",
+				r.Interval, r.PendingData, r.PendingToken, r.PendingTimers, r.EventQueueFull)
+		},
 	})
 	if err != nil {
 		logger.Print(err)
@@ -138,10 +156,11 @@ func run() int {
 		return 1
 	}
 	d, err := daemon.New(daemon.Config{
-		Node:     node,
-		Listener: ln,
-		Logger:   logger,
-		Fanout:   fanout.Config{QueueDepth: *fanoutQueue, Policy: policy},
+		Node:         node,
+		Listener:     ln,
+		Logger:       logger,
+		Fanout:       fanout.Config{QueueDepth: *fanoutQueue, Policy: policy, HistoryDepth: *resumeHistory},
+		ResumeWindow: *resumeWindow,
 	})
 	if err != nil {
 		logger.Print(err)
@@ -150,15 +169,27 @@ func run() int {
 	}
 	logger.Printf("daemon %d serving on %s (protocol %s, fanout policy %s)", *id, *socket, *protoFlag, policy)
 
-	sig := make(chan os.Signal, 1)
+	// First signal: graceful drain — stop accepting, announce the drain to
+	// clients, flush the bounded fan-out queues within the budget, then
+	// leave the ring. A second signal forces immediate exit.
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	logger.Print("shutting down")
-	if err := d.Close(); err != nil {
-		logger.Printf("shutdown: %v", err)
+	s := <-sig
+	logger.Printf("%s: draining (budget %s; signal again to force exit)", s, *drainTimeout)
+	drained := make(chan error, 1)
+	go func() { drained <- d.Drain(*drainTimeout) }()
+	select {
+	case err := <-drained:
+		if err != nil {
+			logger.Printf("drain: %v", err)
+			return 1
+		}
+		return 0
+	case s = <-sig:
+		logger.Printf("%s: forcing exit", s)
+		d.Close()
 		return 1
 	}
-	return 0
 }
 
 // logTracer logs protocol state transitions and configuration installs.

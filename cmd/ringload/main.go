@@ -26,6 +26,7 @@ package main
 
 import (
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -61,7 +62,13 @@ func run() int {
 	sweepClients := flag.String("sweep-clients", "", "fan-out mode: comma-separated client counts to sweep (overrides -mock-clients after the first)")
 	sweepInterest := flag.String("sweep-interest", "", "fan-out mode: comma-separated interest fractions to sweep")
 	requireHealthy := flag.Float64("require-healthy", 0, "fan-out mode: fail unless every scenario's healthy delivery ratio reaches this (e.g. 0.99)")
+	connectWait := flag.Duration("connect-wait", 0, "retry the initial daemon connection with capped backoff for this long (daemon may still be starting)")
+	reconnect := flag.Bool("reconnect", false, "survive daemon restarts: auto-reconnect with session resume instead of exiting on connection loss")
+	requireRecovery := flag.Bool("require-recovery", false, "fail unless the connection survived at least one daemon outage and delivered traffic afterwards (implies -reconnect)")
 	flag.Parse()
+	if *requireRecovery {
+		*reconnect = true
+	}
 
 	logger := log.New(os.Stderr, "ringload: ", log.LstdFlags)
 	if *mockClients > 0 || *sweepClients != "" {
@@ -101,7 +108,10 @@ func run() int {
 		return 2
 	}
 
-	conn, err := client.Connect("unix", *socket, *name)
+	conn, err := client.Dial("unix", *socket, *name, client.Options{
+		ConnectWait: *connectWait,
+		Reconnect:   *reconnect,
+	})
 	if err != nil {
 		logger.Print(err)
 		return 1
@@ -118,22 +128,41 @@ func run() int {
 	hist := stats.NewHistogram(100*time.Microsecond, 10)
 	received := 0
 	recvBytes := 0
+	gaps := 0
+	sawReconnect := false
+	recoveredTraffic := false
 	done := make(chan struct{})
 
 	go func() {
 		defer close(done)
 		for ev := range conn.Events() {
-			m, ok := ev.(client.Message)
-			if !ok {
-				continue
-			}
-			received++
-			recvBytes += len(m.Payload)
-			if m.Sender == conn.PrivateName() && len(m.Payload) >= 8 {
-				sent := int64(binary.BigEndian.Uint64(m.Payload))
-				d := time.Duration(time.Now().UnixNano() - sent)
-				lat.Add(d)
-				hist.Add(d)
+			switch m := ev.(type) {
+			case client.Message:
+				received++
+				recvBytes += len(m.Payload)
+				if sawReconnect {
+					recoveredTraffic = true
+				}
+				if m.Sender == conn.PrivateName() && len(m.Payload) >= 8 {
+					sent := int64(binary.BigEndian.Uint64(m.Payload))
+					d := time.Duration(time.Now().UnixNano() - sent)
+					lat.Add(d)
+					hist.Add(d)
+				}
+			case client.Disconnected:
+				logger.Printf("disconnected: %v", m.Err)
+			case client.Reconnected:
+				sawReconnect = true
+				logger.Printf("reconnected after %d attempts (session resumed: %v)", m.Attempts, m.Resumed)
+			case client.Gap:
+				gaps++
+				if m.Group != "" {
+					logger.Printf("gap: %d messages of group %q lost", m.Missed, m.Group)
+				} else {
+					logger.Print("gap: stream continuity lost (fresh session or unknown loss)")
+				}
+			case client.Draining:
+				logger.Print("daemon draining")
 			}
 		}
 	}()
@@ -148,6 +177,9 @@ func run() int {
 			<-ticker.C
 			binary.BigEndian.PutUint64(payload, uint64(time.Now().UnixNano()))
 			if err := conn.Multicast(service, payload, *group); err != nil {
+				if errors.Is(err, client.ErrReconnecting) {
+					continue // daemon outage in progress; the supervisor is redialing
+				}
 				logger.Printf("multicast: %v", err)
 				return 1
 			}
@@ -163,6 +195,17 @@ func run() int {
 	elapsed := time.Since(start).Seconds()
 	fmt.Printf("received %d messages (%.1f Mbps payload) in %.1fs\n",
 		received, float64(recvBytes)*8/1e6/elapsed, elapsed)
+	if *reconnect {
+		fmt.Printf("reconnects %d resumes %d gaps %d\n", conn.Reconnects(), conn.Resumes(), gaps)
+	}
+	if *requireRecovery {
+		if !sawReconnect || !recoveredTraffic {
+			logger.Printf("recovery check FAILED: reconnected=%v traffic after reconnect=%v",
+				sawReconnect, recoveredTraffic)
+			return 1
+		}
+		logger.Print("recovery check passed")
+	}
 	if lat.Count() > 0 {
 		fmt.Printf("self-latency: n=%d mean=%v p50=%v p99=%v max=%v\n",
 			lat.Count(), lat.Mean(), lat.Percentile(50), lat.Percentile(99), lat.Max())

@@ -44,6 +44,7 @@ func run() int {
 	interval := flag.Duration("interval", 2*time.Second, "statistics reporting interval")
 	rings := flag.Int("rings", 1, "ring (shard) count; ring r strides every port by +2r")
 	socketsFlag := flag.String("sockets", "", "comma-separated daemon IPC sockets to poll for serving-side stats instead of joining the ring")
+	connectWait := flag.Duration("connect-wait", 0, "-sockets mode: retry a daemon connection with capped backoff for this long before failing the poll (covers daemons still starting up)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "ringmon: ", log.LstdFlags)
@@ -58,7 +59,7 @@ func run() int {
 			logger.Print("empty -sockets")
 			return 2
 		}
-		return runSockets(logger, sockets, *interval)
+		return runSockets(logger, sockets, *interval, *connectWait)
 	}
 	peers, err := parsePeers(*peersFlag)
 	if err != nil {

@@ -20,7 +20,7 @@ import (
 // subscriptions, fan-out shedding — per daemon. Unlike the ring-observer
 // modes it adds no hop to the token rotation: it is an ordinary local
 // client of each daemon.
-func runSockets(logger *log.Logger, sockets []string, interval time.Duration) int {
+func runSockets(logger *log.Logger, sockets []string, interval, connectWait time.Duration) int {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	ticker := time.NewTicker(interval)
@@ -31,7 +31,7 @@ func runSockets(logger *log.Logger, sockets []string, interval time.Duration) in
 	lastDisc := make(map[string]uint64, len(sockets))
 	for {
 		for _, sock := range sockets {
-			snap, err := pollStats(sock)
+			snap, err := pollStats(sock, connectWait)
 			if err != nil {
 				fmt.Printf("%s %s: %v\n", time.Now().Format("15:04:05.000"), sock, err)
 				continue
@@ -43,6 +43,12 @@ func runSockets(logger *log.Logger, sockets []string, interval time.Duration) in
 				time.Now().Format("15:04:05.000"), sock, snap.Daemon,
 				snap.Sessions, snap.Groups, snap.Subscriptions,
 				snap.Shed, shedDelta, snap.Disconnects, discDelta, snap.FanoutPolicy)
+			if snap.Detached > 0 || snap.Resumes > 0 || snap.Draining || snap.DrainMs > 0 {
+				fmt.Printf("%s %s resume: detached %d resumes %d gaps %d expired %d draining %v drainMs %d\n",
+					time.Now().Format("15:04:05.000"), sock,
+					snap.Detached, snap.Resumes, snap.ResumeGaps, snap.ResumeExpired,
+					snap.Draining, snap.DrainMs)
+			}
 			var node accelring.MetricsSnapshot
 			if err := json.Unmarshal(snap.Node, &node); err == nil && node.Fanout != nil {
 				f := node.Fanout
@@ -64,8 +70,9 @@ func runSockets(logger *log.Logger, sockets []string, interval time.Duration) in
 // pollStats runs one connect/stats/close cycle against a daemon socket, so
 // ringmon holds no session between intervals and a daemon restart only
 // costs one missed poll.
-func pollStats(sock string) (ipc.StatsSnapshot, error) {
-	c, err := client.Connect("unix", sock, fmt.Sprintf("ringmon-%d", os.Getpid()))
+func pollStats(sock string, connectWait time.Duration) (ipc.StatsSnapshot, error) {
+	c, err := client.Dial("unix", sock, fmt.Sprintf("ringmon-%d", os.Getpid()),
+		client.Options{ConnectWait: connectWait})
 	if err != nil {
 		return ipc.StatsSnapshot{}, err
 	}

@@ -2,20 +2,36 @@
 // daemon over its IPC socket: connect under a name, join and leave named
 // groups, multicast to any set of groups (open-group semantics), and
 // receive totally ordered messages and group membership views.
+//
+// Connections come in two flavors. Connect/New give the classic
+// fail-stop connection: when it drops, the Events channel closes and the
+// Conn is dead. Dial/DialContext with Options.Reconnect give a managed
+// connection that survives daemon restarts: it redials with capped
+// exponential backoff, resumes its session (CmdResume) so the daemon
+// replays the delivery stream from the client's last acknowledged stamp,
+// replays joins and subscriptions from tracked interest state when the
+// session could not be resumed, and reports the transitions as typed
+// Disconnected/Reconnected/Gap/Draining events on the same Events
+// channel.
 package client
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"accelring/internal/ipc"
 	"accelring/internal/wire"
 )
 
-// Event is something the daemon delivers to a client: a Message or a View.
+// Event is something delivered on the Events channel: an ordered Message
+// or View from the daemon, or — on managed connections — a connection
+// lifecycle event (Disconnected, Reconnected, Gap, Draining).
 type Event interface {
 	isEvent()
 }
@@ -24,8 +40,16 @@ type Event interface {
 type Message struct {
 	// Sender is the private name of the sending client.
 	Sender string
-	// Groups are the destination groups.
+	// Groups are the destination groups; Seqs are the corresponding
+	// per-group sequence numbers (Seqs[i] numbers this message in
+	// Groups[i]'s stream). Identical at every daemon, they are what gap
+	// detection is verified against.
 	Groups []string
+	Seqs   []uint64
+	// Stamp is the daemon's global delivery stamp — strictly increasing
+	// across every message this connection receives from one daemon
+	// incarnation; the resume cursor.
+	Stamp uint64
 	// Service is the delivery guarantee the message was sent with.
 	Service wire.Service
 	// Payload is the application data.
@@ -41,101 +65,323 @@ type View struct {
 	Members []string
 }
 
-func (Message) isEvent() {}
-func (View) isEvent()    {}
+// Disconnected reports that a managed connection lost its transport; the
+// client is now redialing with backoff. Err is the read error that ended
+// the connection.
+type Disconnected struct{ Err error }
 
-// Conn is a client connection to a daemon.
-type Conn struct {
-	conn    net.Conn
-	private string
-
-	events chan Event
-	// statsCh carries EvtStats bodies to a waiting Stats call; done is
-	// closed when the read loop exits. statsMu serializes Stats callers.
-	statsCh chan []byte
-	done    chan struct{}
-	statsMu sync.Mutex
-
-	mu     sync.Mutex
-	closed bool
-	wg     sync.WaitGroup
+// Reconnected reports that a managed connection is serving again.
+// Resumed means the daemon kept the session and the delivery stream
+// continues where it left off (any loss is reported separately as Gap);
+// false means a fresh session was created — cursors reset, joins and
+// subscriptions replayed. Attempts counts the dials this outage took.
+type Reconnected struct {
+	Resumed  bool
+	Attempts int
 }
 
-// ErrClosed is returned by operations on a closed connection.
-var ErrClosed = errors.New("client: connection closed")
+// Gap reports lost messages on a managed connection. With a Group, the
+// daemon's per-group sequence numbers jumped: Missed messages of that
+// group's stream were dropped (shed under backpressure, or lost across a
+// resume). With Group empty, stream continuity was lost wholesale — the
+// session could not be resumed, or the daemon dropped an unknown number
+// of frames while the client was away — and Missed is 0 (unknown).
+type Gap struct {
+	Group  string
+	Missed uint64
+}
+
+// Draining reports that the daemon announced a graceful drain: it will
+// flush pending deliveries and close. A managed connection will reconnect
+// (to the restarted daemon) when the connection ends.
+type Draining struct{}
+
+func (Message) isEvent()      {}
+func (View) isEvent()         {}
+func (Disconnected) isEvent() {}
+func (Reconnected) isEvent()  {}
+func (Gap) isEvent()          {}
+func (Draining) isEvent()     {}
+
+// Errors returned by connection operations.
+var (
+	// ErrClosed is returned by operations on a closed connection — closed
+	// by Close, a dead unmanaged connection, or a managed connection that
+	// exhausted Options.MaxAttempts.
+	ErrClosed = errors.New("client: connection closed")
+	// ErrReconnecting is returned by operations that need a live transport
+	// (Multicast, Stats) while a managed connection is between attempts.
+	// Join/Leave/Subscribe/Unsubscribe succeed while reconnecting: they
+	// update the tracked interest state and are replayed on reconnect.
+	ErrReconnecting = errors.New("client: reconnecting")
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultDialTimeout = 10 * time.Second
+	DefaultBackoffMin  = 100 * time.Millisecond
+	DefaultBackoffMax  = 5 * time.Second
+)
+
+// Options configures Dial/DialContext.
+type Options struct {
+	// DialTimeout bounds each dial attempt; zero selects
+	// DefaultDialTimeout.
+	DialTimeout time.Duration
+	// ConnectWait keeps retrying the initial connection (daemon socket
+	// not up yet) for this long before giving up; zero makes the first
+	// dial the only one.
+	ConnectWait time.Duration
+	// Reconnect selects the managed mode: on connection loss the client
+	// redials with capped exponential backoff and jitter, resumes or
+	// re-establishes its session, and emits typed lifecycle events
+	// instead of closing the Events channel.
+	Reconnect bool
+	// BackoffMin and BackoffMax bound the exponential backoff between
+	// reconnect attempts; zeroes select DefaultBackoffMin/Max.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// MaxAttempts caps the dials per outage; past it the connection gives
+	// up and behaves as closed. Zero means retry forever.
+	MaxAttempts int
+}
+
+func (o *Options) fill() {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = DefaultDialTimeout
+	}
+	if o.BackoffMin <= 0 {
+		o.BackoffMin = DefaultBackoffMin
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = DefaultBackoffMax
+	}
+	if o.BackoffMax < o.BackoffMin {
+		o.BackoffMax = o.BackoffMin
+	}
+}
 
 // eventQueue is the receive buffer; the daemon disconnects clients that
 // fall too far behind, so the client should drain Events promptly.
 const eventQueue = 8192
 
+// Conn is a client connection to a daemon.
+type Conn struct {
+	network, addr, name string
+	opts                Options
+	managed             bool
+
+	events  chan Event
+	statsCh chan []byte
+	statsMu sync.Mutex
+	done     chan struct{}
+	doneOnce sync.Once
+
+	mu        sync.Mutex
+	conn      net.Conn // nil while a managed connection is redialing
+	private   string
+	sessionID uint64
+	closed    bool
+	// lastStamp and groupSeqs are the delivery cursors: the resume point
+	// acknowledged to the daemon, and each interesting group's last seen
+	// sequence number for gap detection.
+	lastStamp uint64
+	groupSeqs map[string]uint64
+	// joined and subscribed track desired interest for replay;
+	// pendingLeaves/pendingUnsubs remember withdrawals made while
+	// disconnected so a resumed session applies them.
+	joined        map[string]bool
+	subscribed    map[string]bool
+	pendingLeaves map[string]bool
+	pendingUnsubs map[string]bool
+	// reconnects and resumes count outages survived and sessions resumed.
+	reconnects uint64
+	resumes    uint64
+
+	wg sync.WaitGroup
+}
+
 // Connect dials a daemon and registers under the given name. network/addr
 // are as in net.Dial ("unix", "/tmp/ringd.sock" for co-located clients).
+// The dial is bounded by DefaultDialTimeout; the connection is unmanaged
+// (Events closes when it drops). Use Dial for timeouts, initial-connect
+// retry, and the managed reconnecting mode.
 func Connect(network, addr, name string) (*Conn, error) {
+	return Dial(network, addr, name, Options{})
+}
+
+// Dial connects to a daemon with the given options.
+func Dial(network, addr, name string, opts Options) (*Conn, error) {
+	return DialContext(context.Background(), network, addr, name, opts)
+}
+
+// DialContext connects to a daemon, bounded by ctx: dialing (including
+// the Options.ConnectWait retry window) stops when ctx is done.
+func DialContext(ctx context.Context, network, addr, name string, opts Options) (*Conn, error) {
 	if name == "" {
 		return nil, errors.New("client: empty name")
 	}
-	conn, err := net.Dial(network, addr)
+	opts.fill()
+	conn, err := dialInitial(ctx, network, addr, opts)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
-	return New(conn, name)
+	c, err := newConn(conn, name)
+	if err != nil {
+		return nil, err
+	}
+	c.network, c.addr, c.opts = network, addr, opts
+	c.managed = opts.Reconnect
+	c.start()
+	return c, nil
+}
+
+// dialInitial dials with the per-attempt timeout, retrying transport
+// errors for up to opts.ConnectWait (the daemon socket may not be up
+// yet).
+func dialInitial(ctx context.Context, network, addr string, opts Options) (net.Conn, error) {
+	d := net.Dialer{Timeout: opts.DialTimeout}
+	deadline := time.Now().Add(opts.ConnectWait)
+	backoff := opts.BackoffMin
+	for {
+		conn, err := d.DialContext(ctx, network, addr)
+		if err == nil {
+			return conn, nil
+		}
+		if opts.ConnectWait <= 0 || !time.Now().Add(backoff).Before(deadline) {
+			return nil, err
+		}
+		select {
+		case <-time.After(jitter(backoff)):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if backoff *= 2; backoff > opts.BackoffMax {
+			backoff = opts.BackoffMax
+		}
+	}
 }
 
 // New registers under the given name over an already established
 // connection (an in-memory pipe, a pre-dialed socket) and takes ownership
-// of it. On error the connection is closed.
+// of it. On error the connection is closed. The result is unmanaged: it
+// cannot redial a transport it did not create.
 func New(conn net.Conn, name string) (*Conn, error) {
+	c, err := newConn(conn, name)
+	if err != nil {
+		return nil, err
+	}
+	c.start()
+	return c, nil
+}
+
+// newConn performs the handshake and builds the Conn without starting its
+// reader, so DialContext can flip it to managed mode first.
+func newConn(conn net.Conn, name string) (*Conn, error) {
 	if name == "" {
 		conn.Close()
 		return nil, errors.New("client: empty name")
 	}
-	if err := ipc.WriteFrame(conn, ipc.CmdConnect, ipc.PutString(nil, name)); err != nil {
+	private, sessionID, err := handshake(conn, name)
+	if err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("client: connect frame: %w", err)
+		return nil, err
+	}
+	c := &Conn{
+		name:          name,
+		conn:          conn,
+		private:       private,
+		sessionID:     sessionID,
+		events:        make(chan Event, eventQueue),
+		statsCh:       make(chan []byte, 1),
+		done:          make(chan struct{}),
+		groupSeqs:     make(map[string]uint64),
+		joined:        make(map[string]bool),
+		subscribed:    make(map[string]bool),
+		pendingLeaves: make(map[string]bool),
+		pendingUnsubs: make(map[string]bool),
+	}
+	return c, nil
+}
+
+// start launches the connection's reader (and, in managed mode, its
+// supervisor).
+func (c *Conn) start() {
+	c.wg.Add(1)
+	go c.run()
+}
+
+// handshake performs the CmdConnect/EvtWelcome exchange. The welcome
+// carries the private name and, from resume-capable daemons, a session ID
+// (0 when absent: resume unavailable).
+func handshake(conn net.Conn, name string) (private string, sessionID uint64, err error) {
+	if err := ipc.WriteFrame(conn, ipc.CmdConnect, ipc.PutString(nil, name)); err != nil {
+		return "", 0, fmt.Errorf("client: connect frame: %w", err)
 	}
 	typ, body, err := ipc.ReadFrame(conn)
 	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("client: reading welcome: %w", err)
+		return "", 0, fmt.Errorf("client: reading welcome: %w", err)
 	}
 	if typ != ipc.EvtWelcome {
-		conn.Close()
-		return nil, fmt.Errorf("client: unexpected frame %d before welcome", typ)
+		return "", 0, fmt.Errorf("client: unexpected frame %d before welcome", typ)
 	}
-	private, _, err := ipc.GetString(body)
+	private, rest, err := ipc.GetString(body)
 	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("client: bad welcome: %w", err)
+		return "", 0, fmt.Errorf("client: bad welcome: %w", err)
 	}
-	c := &Conn{
-		conn:    conn,
-		private: private,
-		events:  make(chan Event, eventQueue),
-		statsCh: make(chan []byte, 1),
-		done:    make(chan struct{}),
+	if len(rest) >= 8 {
+		sessionID, _, _ = ipc.GetUint64(rest)
 	}
-	c.wg.Add(1)
-	go c.readLoop()
-	return c, nil
+	return private, sessionID, nil
 }
 
 // PrivateName returns the globally unique name the daemon assigned, e.g.
 // "alice@0.0.0.1".
-func (c *Conn) PrivateName() string { return c.private }
+func (c *Conn) PrivateName() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.private
+}
 
-// Events returns the stream of ordered messages and views. It is closed
-// when the connection drops.
+// SessionID returns the daemon-issued resume session ID (0 when the
+// daemon has resume disabled).
+func (c *Conn) SessionID() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sessionID
+}
+
+// Reconnects returns how many outages this managed connection has
+// survived; Resumes how many of those kept the session.
+func (c *Conn) Reconnects() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reconnects
+}
+
+// Resumes returns how many reconnects resumed the existing session.
+func (c *Conn) Resumes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resumes
+}
+
+// Events returns the stream of ordered messages and views, plus lifecycle
+// events on managed connections. It closes when the connection is dead:
+// dropped (unmanaged), Closed, or out of reconnect attempts (managed).
 func (c *Conn) Events() <-chan Event { return c.events }
 
 // Join subscribes this client to a group. The resulting view arrives on
 // Events, totally ordered with all other group operations and messages.
+// On a managed connection Join succeeds while reconnecting: the interest
+// is recorded and replayed.
 func (c *Conn) Join(group string) error {
-	return c.sendFrame(ipc.CmdJoin, ipc.PutString(nil, group))
+	return c.interestOp(ipc.CmdJoin, group)
 }
 
 // Leave unsubscribes this client from a group.
 func (c *Conn) Leave(group string) error {
-	return c.sendFrame(ipc.CmdLeave, ipc.PutString(nil, group))
+	return c.interestOp(ipc.CmdLeave, group)
 }
 
 // Subscribe registers local delivery interest in a group's ordered
@@ -146,13 +392,59 @@ func (c *Conn) Leave(group string) error {
 // read-only audience costs the ring nothing — use Join only when the
 // other members must know you are there.
 func (c *Conn) Subscribe(group string) error {
-	return c.sendFrame(ipc.CmdSubscribe, ipc.PutString(nil, group))
+	return c.interestOp(ipc.CmdSubscribe, group)
 }
 
 // Unsubscribe withdraws a Subscribe. A concurrent membership of the same
 // group (via Join) keeps delivering.
 func (c *Conn) Unsubscribe(group string) error {
-	return c.sendFrame(ipc.CmdUnsubscribe, ipc.PutString(nil, group))
+	return c.interestOp(ipc.CmdUnsubscribe, group)
+}
+
+// interestOp updates the tracked interest state and forwards the frame.
+// While a managed connection is redialing the update alone succeeds — the
+// supervisor reconciles the daemon on reconnect.
+func (c *Conn) interestOp(typ byte, group string) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	switch typ {
+	case ipc.CmdJoin:
+		c.joined[group] = true
+		delete(c.pendingLeaves, group)
+	case ipc.CmdLeave:
+		delete(c.joined, group)
+		if !c.subscribed[group] {
+			delete(c.groupSeqs, group)
+		}
+		if c.conn == nil {
+			c.pendingLeaves[group] = true
+		}
+	case ipc.CmdSubscribe:
+		c.subscribed[group] = true
+		delete(c.pendingUnsubs, group)
+	case ipc.CmdUnsubscribe:
+		delete(c.subscribed, group)
+		if !c.joined[group] {
+			delete(c.groupSeqs, group)
+		}
+		if c.conn == nil {
+			c.pendingUnsubs[group] = true
+		}
+	}
+	conn := c.conn
+	if conn == nil {
+		c.mu.Unlock()
+		if c.managed {
+			return nil
+		}
+		return ErrClosed
+	}
+	err := ipc.WriteFrame(conn, typ, ipc.PutString(nil, group))
+	c.mu.Unlock()
+	return c.normalize(err)
 }
 
 // MulticastOptions modify a multicast.
@@ -170,7 +462,9 @@ func (c *Conn) Multicast(service wire.Service, payload []byte, groups ...string)
 	return c.MulticastWith(MulticastOptions{}, service, payload, groups...)
 }
 
-// MulticastWith is Multicast with options.
+// MulticastWith is Multicast with options. While a managed connection is
+// between attempts it fails with ErrReconnecting — messages are not
+// queued for an absent daemon.
 func (c *Conn) MulticastWith(opts MulticastOptions, service wire.Service, payload []byte, groups ...string) error {
 	if len(groups) == 0 {
 		return errors.New("client: no destination groups")
@@ -215,7 +509,10 @@ func (c *Conn) Stats() (ipc.StatsSnapshot, error) {
 	}
 }
 
-// Close terminates the connection.
+// Close terminates the connection: a best-effort goodbye tells the daemon
+// to drop the session now rather than hold it for the resume window.
+// Close is idempotent and concurrent-safe; operations after it return
+// ErrClosed.
 func (c *Conn) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -223,53 +520,367 @@ func (c *Conn) Close() error {
 		return nil
 	}
 	c.closed = true
+	conn := c.conn
+	if conn != nil {
+		conn.SetWriteDeadline(time.Now().Add(time.Second))
+		ipc.WriteFrame(conn, ipc.CmdGoodbye, nil)
+	}
 	c.mu.Unlock()
-	err := c.conn.Close()
+	c.doneOnce.Do(func() { close(c.done) })
+	if conn != nil {
+		conn.Close()
+	}
 	c.wg.Wait()
-	return err
+	return nil
 }
 
+// sendFrame writes one frame on the live transport.
 func (c *Conn) sendFrame(typ byte, body []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return ErrClosed
 	}
-	if err := ipc.WriteFrame(c.conn, typ, body); err != nil {
-		return fmt.Errorf("client: %w", err)
+	if c.conn == nil {
+		if c.managed {
+			return ErrReconnecting
+		}
+		return ErrClosed
 	}
-	return nil
+	return c.normalize(ipc.WriteFrame(c.conn, typ, body))
 }
 
-func (c *Conn) readLoop() {
+// normalize maps transport errors racing a Close to ErrClosed. Caller may
+// hold c.mu (closed is also checked locklessly under it).
+func (c *Conn) normalize(err error) error {
+	if err == nil {
+		return nil
+	}
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
+	return fmt.Errorf("client: %w", err)
+}
+
+// emit delivers a lifecycle or data event, giving up when the connection
+// closes so a consumer that stopped draining cannot wedge the supervisor
+// forever.
+func (c *Conn) emit(ev Event) {
+	select {
+	case c.events <- ev:
+	case <-c.done:
+	}
+}
+
+// isClosed reports whether Close ran or reconnects are exhausted.
+func (c *Conn) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// run is the connection lifecycle: read until the transport drops, then —
+// unmanaged — close the Events channel, or — managed — hand the outage to
+// the supervisor.
+func (c *Conn) run() {
 	defer c.wg.Done()
+	conn := c.conn // set before start; never nil here
+	err := c.readConn(conn)
+	if c.managed {
+		c.supervise(conn, err)
+		return
+	}
+	c.doneOnce.Do(func() { close(c.done) })
+	close(c.events)
+}
+
+// supervise owns a managed connection's lifecycle after its first
+// transport failure: emit Disconnected, redial with backoff, resume or
+// re-establish the session, emit Reconnected (and Gap when continuity
+// broke), then read until the next failure.
+func (c *Conn) supervise(conn net.Conn, err error) {
 	defer close(c.events)
-	defer close(c.done)
 	for {
-		typ, body, err := ipc.ReadFrame(c.conn)
-		if err != nil {
+		if c.isClosed() {
 			return
+		}
+		conn.Close()
+		c.mu.Lock()
+		c.conn = nil
+		c.mu.Unlock()
+		c.emit(Disconnected{Err: err})
+		next, resumed, gap, attempts := c.reconnect()
+		if next == nil {
+			// Closed, or attempts exhausted: the connection is dead.
+			c.mu.Lock()
+			c.closed = true
+			c.mu.Unlock()
+			c.doneOnce.Do(func() { close(c.done) })
+			return
+		}
+		c.emit(Reconnected{Resumed: resumed, Attempts: attempts})
+		if gap {
+			c.emit(Gap{})
+		}
+		conn = next
+		err = c.readConn(conn)
+	}
+}
+
+// reconnect dials until a session is serving again. It returns the new
+// transport, whether the session was resumed, whether stream continuity
+// broke (fresh session, or the daemon dropped frames while away), and the
+// attempt count — or a nil transport when closed or out of attempts.
+func (c *Conn) reconnect() (conn net.Conn, resumed, gap bool, attempts int) {
+	backoff := c.opts.BackoffMin
+	for {
+		if c.isClosed() {
+			return nil, false, false, attempts
+		}
+		if c.opts.MaxAttempts > 0 && attempts >= c.opts.MaxAttempts {
+			return nil, false, false, attempts
+		}
+		attempts++
+		conn, resumed, gap, err := c.tryConnect()
+		if err == nil {
+			return conn, resumed, gap, attempts
+		}
+		select {
+		case <-time.After(jitter(backoff)):
+		case <-c.done:
+			return nil, false, false, attempts
+		}
+		if backoff *= 2; backoff > c.opts.BackoffMax {
+			backoff = c.opts.BackoffMax
+		}
+	}
+}
+
+// tryConnect makes one reconnect attempt: dial, resume the session if one
+// exists (CmdResume), fall back to a fresh handshake otherwise, reconcile
+// interest state, and install the transport.
+func (c *Conn) tryConnect() (net.Conn, bool, bool, error) {
+	d := net.Dialer{Timeout: c.opts.DialTimeout}
+	conn, err := d.Dial(c.network, c.addr)
+	if err != nil {
+		return nil, false, false, err
+	}
+	conn.SetDeadline(time.Now().Add(c.opts.DialTimeout))
+	c.mu.Lock()
+	sid, stamp, name := c.sessionID, c.lastStamp, c.name
+	seqs := make(map[string]uint64, len(c.groupSeqs))
+	for g, s := range c.groupSeqs {
+		seqs[g] = s
+	}
+	c.mu.Unlock()
+
+	resumed, gap := false, false
+	var private string
+	var newSid uint64
+	if sid != 0 {
+		body := ipc.PutString(nil, name)
+		body = ipc.PutUint64(body, sid)
+		body = ipc.PutUint64(body, stamp)
+		body = putSeqs(body, seqs)
+		if err := ipc.WriteFrame(conn, ipc.CmdResume, body); err != nil {
+			conn.Close()
+			return nil, false, false, err
+		}
+		typ, resp, err := ipc.ReadFrame(conn)
+		if err != nil || typ != ipc.EvtResumed || len(resp) < 1 {
+			conn.Close()
+			return nil, false, false, fmt.Errorf("client: resume handshake failed (frame %d, %v)", typ, err)
+		}
+		flags := resp[0]
+		private, resp, err = ipc.GetString(resp[1:])
+		if err != nil {
+			conn.Close()
+			return nil, false, false, err
+		}
+		newSid, _, _ = ipc.GetUint64(resp)
+		resumed = flags&ipc.ResumedFlagResumed != 0
+		gap = !resumed || flags&ipc.ResumedFlagGap != 0
+	} else {
+		// Daemon without resume: plain fresh handshake, continuity lost.
+		private, newSid, err = handshake(conn, name)
+		if err != nil {
+			conn.Close()
+			return nil, false, false, err
+		}
+		gap = true
+	}
+	conn.SetDeadline(time.Time{})
+
+	c.mu.Lock()
+	c.private = private
+	if newSid != 0 {
+		c.sessionID = newSid
+	}
+	if !resumed {
+		// Fresh session: the old stream is gone, cursors restart.
+		c.lastStamp = 0
+		c.groupSeqs = make(map[string]uint64)
+		c.pendingLeaves = make(map[string]bool)
+		c.pendingUnsubs = make(map[string]bool)
+	}
+	replay := c.replayFrames(resumed)
+	c.mu.Unlock()
+
+	for _, f := range replay {
+		if err := ipc.WriteFrame(conn, f.typ, f.body); err != nil {
+			conn.Close()
+			return nil, false, false, err
+		}
+	}
+	c.mu.Lock()
+	c.conn = conn
+	c.reconnects++
+	if resumed {
+		c.resumes++
+	}
+	c.mu.Unlock()
+	return conn, resumed, gap, nil
+}
+
+type rawFrame struct {
+	typ  byte
+	body []byte
+}
+
+// replayFrames assembles the interest reconciliation for a fresh
+// transport: joins and subscriptions always (idempotent at the daemon),
+// plus — on a resumed session — the leaves and unsubscribes issued while
+// disconnected. Caller holds c.mu.
+func (c *Conn) replayFrames(resumed bool) []rawFrame {
+	var out []rawFrame
+	for g := range c.joined {
+		out = append(out, rawFrame{ipc.CmdJoin, ipc.PutString(nil, g)})
+	}
+	for g := range c.subscribed {
+		out = append(out, rawFrame{ipc.CmdSubscribe, ipc.PutString(nil, g)})
+	}
+	if resumed {
+		for g := range c.pendingLeaves {
+			out = append(out, rawFrame{ipc.CmdLeave, ipc.PutString(nil, g)})
+		}
+		for g := range c.pendingUnsubs {
+			out = append(out, rawFrame{ipc.CmdUnsubscribe, ipc.PutString(nil, g)})
+		}
+	}
+	c.pendingLeaves = make(map[string]bool)
+	c.pendingUnsubs = make(map[string]bool)
+	return out
+}
+
+// putSeqs encodes the per-group cursor list of a CmdResume body.
+func putSeqs(dst []byte, seqs map[string]uint64) []byte {
+	var cnt [2]byte
+	cnt[0] = byte(len(seqs) >> 8)
+	cnt[1] = byte(len(seqs))
+	dst = append(dst, cnt[:]...)
+	for g, s := range seqs {
+		dst = ipc.PutString(dst, g)
+		dst = ipc.PutUint64(dst, s)
+	}
+	return dst
+}
+
+// readConn pumps frames from one transport until it fails, emitting
+// events; on managed connections it also dedups replayed messages by
+// stamp and flags per-group sequence gaps.
+func (c *Conn) readConn(conn net.Conn) error {
+	for {
+		typ, body, err := ipc.ReadFrame(conn)
+		if err != nil {
+			return err
 		}
 		switch typ {
 		case ipc.EvtMessage:
 			m, err := decodeMessage(body)
 			if err != nil {
-				return
+				return err
 			}
-			c.events <- m
+			if c.managed {
+				gaps, dup := c.trackMessage(&m)
+				for _, g := range gaps {
+					c.emit(g)
+				}
+				if dup {
+					continue
+				}
+				c.emit(m)
+			} else {
+				c.events <- m
+			}
 		case ipc.EvtView:
 			v, err := decodeView(body)
 			if err != nil {
-				return
+				return err
 			}
-			c.events <- v
+			if c.managed {
+				c.emit(v)
+			} else {
+				c.events <- v
+			}
 		case ipc.EvtStats:
 			select {
 			case c.statsCh <- body:
 			default: // no Stats call waiting; drop the response
 			}
+		case ipc.EvtDrain:
+			if c.managed {
+				c.emit(Draining{})
+			} else {
+				c.events <- Draining{}
+			}
+		case ipc.EvtResumed:
+			// Only expected during the reconnect handshake; mid-stream it
+			// is a protocol error, but harmless — ignore.
 		}
 	}
+}
+
+// trackMessage advances the delivery cursors: duplicates (stamp at or
+// below the resume point — the daemon replayed frames the client already
+// had) are suppressed, and sequence jumps in groups this client tracks
+// become Gap events. Messages for groups of transient interest (left
+// since) still pass through, untracked.
+func (c *Conn) trackMessage(m *Message) (gaps []Event, dup bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m.Stamp != 0 {
+		if m.Stamp <= c.lastStamp {
+			return nil, true
+		}
+		c.lastStamp = m.Stamp
+	}
+	for i, g := range m.Groups {
+		if i >= len(m.Seqs) {
+			break
+		}
+		if !c.joined[g] && !c.subscribed[g] {
+			continue
+		}
+		seq := m.Seqs[i]
+		if prev := c.groupSeqs[g]; prev != 0 && seq > prev+1 {
+			gaps = append(gaps, Gap{Group: g, Missed: seq - prev - 1})
+		}
+		if seq > c.groupSeqs[g] {
+			c.groupSeqs[g] = seq
+		}
+	}
+	return gaps, false
+}
+
+// jitter spreads a backoff delay over [3d/4, 5d/4) so a daemon restart
+// does not see every client redial in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return 3*d/4 + time.Duration(rand.Int63n(int64(d)/2+1))
 }
 
 func decodeMessage(body []byte) (Message, error) {
@@ -280,13 +891,37 @@ func decodeMessage(body []byte) (Message, error) {
 	m.Service = wire.Service(body[0])
 	body = body[1:]
 	var err error
+	m.Stamp, body, err = ipc.GetUint64(body)
+	if err != nil {
+		return m, err
+	}
 	m.Sender, body, err = ipc.GetString(body)
 	if err != nil {
 		return m, err
 	}
-	m.Groups, body, err = ipc.GetStrings(body)
-	if err != nil {
-		return m, err
+	if len(body) < 2 {
+		return m, ipc.ErrBadFrame
+	}
+	n := int(body[0])<<8 | int(body[1])
+	body = body[2:]
+	if n > wire.MaxGroups {
+		return m, ipc.ErrBadFrame
+	}
+	m.Groups = make([]string, 0, n)
+	m.Seqs = make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		var g string
+		var s uint64
+		g, body, err = ipc.GetString(body)
+		if err != nil {
+			return m, err
+		}
+		s, body, err = ipc.GetUint64(body)
+		if err != nil {
+			return m, err
+		}
+		m.Groups = append(m.Groups, g)
+		m.Seqs = append(m.Seqs, s)
 	}
 	m.Payload = body
 	return m, nil

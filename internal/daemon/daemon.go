@@ -1,6 +1,8 @@
 package daemon
 
 import (
+	"crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +11,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"accelring"
@@ -28,11 +31,17 @@ type Config struct {
 	Listener net.Listener
 	// Logger receives operational messages; nil disables logging.
 	Logger *log.Logger
-	// Fanout configures the client delivery tier: per-client queue depth
-	// and the backpressure policy applied to slow clients. The zero value
-	// selects 8192-frame queues with the disconnect policy, the classic
-	// Spread-style behavior.
+	// Fanout configures the client delivery tier: per-client queue depth,
+	// the backpressure policy applied to slow clients, and the resume
+	// replay history depth. The zero value selects 8192-frame queues with
+	// the disconnect policy, the classic Spread-style behavior.
 	Fanout fanout.Config
+	// ResumeWindow holds a disconnected client's delivery state (queue,
+	// group memberships, subscriptions) for this long so the client can
+	// reconnect and resume its stream via CmdResume. Zero disables resume:
+	// a lost connection drops the session immediately, the pre-resume
+	// behavior.
+	ResumeWindow time.Duration
 }
 
 // Daemon serves local clients, ordering their messages and group
@@ -57,11 +66,37 @@ type Daemon struct {
 	// the queues.
 	tier *fanout.Tier
 
+	// resumeWindow mirrors Config.ResumeWindow; expireCh delivers resume
+	// window expiries into the main loop; drainCh asks the main loop to
+	// announce a drain to every session, closing the ack channel once the
+	// announcements are enqueued (so Drain's backlog poll counts them).
+	resumeWindow time.Duration
+	expireCh     chan uint64
+	drainCh      chan chan struct{}
+
+	// Serving-tier availability counters, atomic because Snapshot reads
+	// them from arbitrary goroutines while the main loop writes.
+	resumes       atomic.Uint64
+	resumeGaps    atomic.Uint64
+	resumeExpired atomic.Uint64
+	draining      atomic.Bool
+	drainMs       atomic.Int64
+
 	// state owned by the main loop
 	sessions map[*session]bool
+	detached map[uint64]*session // session ID → detached session
 	groups   map[string][]string // group → sorted private member names
 	local    map[string]*session // private member name → session
 	ring     accelring.Configuration
+	// deliverySeq stamps each routed app message, strictly monotone in
+	// delivery order — the global resume cursor clients acknowledge.
+	// groupSeq numbers each group's stream; driven purely by the ring's
+	// total order, it is identical on every daemon and lets clients detect
+	// per-group gaps. Entries are never deleted: the map grows with the
+	// number of distinct group names ever addressed, which keeps a group's
+	// numbering stable across its membership going empty.
+	deliverySeq uint64
+	groupSeq    map[string]uint64
 }
 
 type request struct {
@@ -75,19 +110,25 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.Node == nil || cfg.Listener == nil {
 		return nil, fmt.Errorf("daemon: Node and Listener are required")
 	}
+	cfg.Fanout.Resumable = cfg.ResumeWindow > 0
 	d := &Daemon{
-		node:     cfg.Node,
-		ln:       cfg.Listener,
-		log:      cfg.Logger,
-		tier:     fanout.NewTier(cfg.Fanout),
-		reqCh:    make(chan request, 256),
-		unregCh:  make(chan *session, 16),
-		stopCh:   make(chan struct{}),
-		sessions: make(map[*session]bool),
-		groups:   make(map[string][]string),
-		local:    make(map[string]*session),
+		node:         cfg.Node,
+		ln:           cfg.Listener,
+		log:          cfg.Logger,
+		tier:         fanout.NewTier(cfg.Fanout),
+		reqCh:        make(chan request, 256),
+		unregCh:      make(chan *session, 16),
+		stopCh:       make(chan struct{}),
+		resumeWindow: cfg.ResumeWindow,
+		expireCh:     make(chan uint64, 16),
+		drainCh:      make(chan chan struct{}),
+		sessions:     make(map[*session]bool),
+		detached:     make(map[uint64]*session),
+		groups:       make(map[string][]string),
+		local:        make(map[string]*session),
+		groupSeq:     make(map[string]uint64),
 	}
-	cfg.Node.AttachFanout(d.tier)
+	cfg.Node.AttachFanout(d)
 	d.wg.Add(2)
 	go d.acceptLoop()
 	go d.mainLoop()
@@ -169,7 +210,14 @@ func (d *Daemon) mainLoop() {
 		case req := <-d.reqCh:
 			d.applyRequest(req)
 		case s := <-d.unregCh:
-			d.dropSession(s)
+			d.sessionGone(s)
+		case id := <-d.expireCh:
+			d.expireDetached(id)
+		case ack := <-d.drainCh:
+			for s := range d.sessions {
+				s.send(ipc.EvtDrain, nil)
+			}
+			close(ack)
 		case <-d.stopCh:
 			return
 		}
@@ -180,6 +228,12 @@ func (d *Daemon) closeAllSessions() {
 	for s := range d.sessions {
 		s.close()
 	}
+	for _, s := range d.detached {
+		if s.detachTimer != nil {
+			s.detachTimer.Stop()
+		}
+		s.close()
+	}
 }
 
 // applyRequest handles one client frame.
@@ -188,19 +242,33 @@ func (d *Daemon) applyRequest(req request) {
 	switch req.typ {
 	case ipc.CmdConnect:
 		name, _, err := ipc.GetString(req.body)
-		if err != nil || name == "" || strings.ContainsAny(name, "@ \n") {
+		if err != nil || !validName(name) {
 			s.close()
 			return
 		}
 		private := d.memberName(name)
-		if _, taken := d.local[private]; taken {
+		if !d.claimName(private) {
 			s.close()
 			return
 		}
 		s.member = private
+		s.id = d.newSessionID()
 		d.sessions[s] = true
 		d.local[private] = s
-		s.send(ipc.EvtWelcome, ipc.PutString(nil, private))
+		welcome := ipc.PutString(nil, private)
+		welcome = ipc.PutUint64(welcome, s.id)
+		s.send(ipc.EvtWelcome, welcome)
+	case ipc.CmdResume:
+		if s.member != "" {
+			s.close()
+			return
+		}
+		d.applyResume(s, req.body)
+	case ipc.CmdGoodbye:
+		// Deliberate close: tear down now instead of holding the session
+		// for the resume window.
+		s.goodbye = true
+		d.dropSession(s)
 	case ipc.CmdJoin, ipc.CmdLeave:
 		if s.member == "" {
 			s.close()
@@ -282,6 +350,273 @@ func (d *Daemon) applyRequest(req request) {
 	}
 }
 
+// validName screens a client-chosen name: the daemon appends "@<node>" to
+// build the private name, so the separator and whitespace are reserved.
+func validName(name string) bool {
+	return name != "" && !strings.ContainsAny(name, "@ \n")
+}
+
+// claimName makes a private name available for a new session: a name held
+// by a detached session is reclaimed by evicting it (the client came back
+// without resuming — e.g. it restarted and lost its session ID); a name
+// held by a live session stays taken. Main loop only.
+func (d *Daemon) claimName(private string) bool {
+	existing := d.local[private]
+	if existing == nil {
+		return true
+	}
+	if existing.state == sessDetached {
+		d.evictDetached(existing)
+		return true
+	}
+	return false
+}
+
+// newSessionID draws a random non-zero resume session ID, or 0 when
+// resume is disabled. Main loop only.
+func (d *Daemon) newSessionID() uint64 {
+	if d.resumeWindow <= 0 {
+		return 0
+	}
+	var b [8]byte
+	for {
+		if _, err := rand.Read(b[:]); err != nil {
+			// Practically unreachable; fall back to a counter rather than
+			// refuse service.
+			d.deliverySeq++
+			return d.deliverySeq | 1<<63
+		}
+		id := binary.BigEndian.Uint64(b[:])
+		if id != 0 && d.detached[id] == nil {
+			return id
+		}
+	}
+}
+
+// applyResume handles a CmdResume handshake on a fresh connection: find
+// the detached session, announce the resume (with its gap verdict) ahead
+// of the replay, and graft the detached delivery state onto this
+// connection. An unknown, expired, or dead session falls back to a fresh
+// one under the same name — the client then resets its cursors and
+// replays its joins and subscriptions.
+func (d *Daemon) applyResume(s *session, body []byte) {
+	name, rest, err := ipc.GetString(body)
+	if err != nil || !validName(name) {
+		s.close()
+		return
+	}
+	id, rest, err := ipc.GetUint64(rest)
+	if err != nil {
+		s.close()
+		return
+	}
+	stamp, rest, err := ipc.GetUint64(rest)
+	if err != nil {
+		s.close()
+		return
+	}
+	// Per-group cursors ride along for diagnostics; replay is driven by
+	// the global stamp, so they are only validated here.
+	if len(rest) < 2 {
+		s.close()
+		return
+	}
+	n := int(binary.BigEndian.Uint16(rest))
+	rest = rest[2:]
+	for i := 0; i < n; i++ {
+		if _, rest, err = ipc.GetString(rest); err != nil {
+			s.close()
+			return
+		}
+		if _, rest, err = ipc.GetUint64(rest); err != nil {
+			s.close()
+			return
+		}
+	}
+	private := d.memberName(name)
+	old := d.detached[id]
+	if id == 0 || old == nil || old.member != private {
+		d.resumeFresh(s, private)
+		return
+	}
+	gap, err := d.tier.ResumeGap(old.sub, stamp)
+	if err != nil {
+		// The session died while away (e.g. PolicyDisconnect overflowed
+		// its queue): evict it and fall back to a fresh session.
+		d.evictDetached(old)
+		d.resumeFresh(s, private)
+		return
+	}
+	// Announce the resume synchronously so it is on the wire before the
+	// replay writer starts; the deadline bounds how long a wedged client
+	// can hold the main loop.
+	flags := ipc.ResumedFlagResumed
+	if gap {
+		flags |= ipc.ResumedFlagGap
+	}
+	resp := []byte{flags}
+	resp = ipc.PutString(resp, private)
+	resp = ipc.PutUint64(resp, id)
+	s.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	werr := ipc.WriteFrame(s.conn, ipc.EvtResumed, resp)
+	s.conn.SetWriteDeadline(time.Time{})
+	if werr != nil {
+		s.close()
+		return
+	}
+	// Retire the placeholder subscriber registered at accept: Detach first
+	// clears its callbacks, so closing it cannot fire an unregister for
+	// the session that is about to adopt the real one.
+	d.tier.Detach(s.sub)
+	d.tier.Unregister(s.sub)
+	// Adopt the detached session's identity and delivery state.
+	if old.detachTimer != nil {
+		old.detachTimer.Stop()
+		old.detachTimer = nil
+	}
+	delete(d.detached, id)
+	old.state = sessGone
+	s.subMu.Lock()
+	s.sub = old.sub
+	s.subMu.Unlock()
+	s.member, s.id, s.submits = old.member, old.id, old.submits
+	d.sessions[s] = true
+	d.local[private] = s
+	if _, err := d.tier.Attach(s.sub, ipcSink{s.conn}, stamp, s.killFunc(), s.exitFunc()); err != nil {
+		d.dropSession(s)
+		return
+	}
+	d.resumes.Add(1)
+	if gap {
+		d.resumeGaps.Add(1)
+	}
+	d.logf("daemon: resumed session %s (gap=%v)", private, gap)
+}
+
+// resumeFresh answers a failed resume with a brand-new session under the
+// requested name: EvtResumed without the resumed flag, carrying the new
+// private name and session ID.
+func (d *Daemon) resumeFresh(s *session, private string) {
+	if !d.claimName(private) {
+		s.close()
+		return
+	}
+	s.member = private
+	s.id = d.newSessionID()
+	d.sessions[s] = true
+	d.local[private] = s
+	resp := []byte{0}
+	resp = ipc.PutString(resp, private)
+	resp = ipc.PutUint64(resp, s.id)
+	s.send(ipc.EvtResumed, resp)
+}
+
+// sessionGone decides a disconnected session's fate on the main loop:
+// detach (hold for resume) when the window is open and the disconnect was
+// not deliberate, drop otherwise. Duplicate notifications — the read loop
+// and the writer both report the same death — are ignored.
+func (d *Daemon) sessionGone(s *session) {
+	if s.state != sessActive {
+		return
+	}
+	if d.resumeWindow > 0 && s.member != "" && d.sessions[s] && !s.goodbye && !d.draining.Load() {
+		d.detachSession(s)
+		return
+	}
+	d.dropSession(s)
+}
+
+// detachSession parks a disconnected session for the resume window: the
+// delivery queue keeps accumulating, group memberships and subscriptions
+// stay registered, and the ring is told nothing.
+func (d *Daemon) detachSession(s *session) {
+	if !d.tier.Detach(s.sub) {
+		// Queue already closed (slow-client kill, shutdown): not resumable.
+		d.dropSession(s)
+		return
+	}
+	delete(d.sessions, s)
+	s.conn.Close()
+	s.state = sessDetached
+	d.detached[s.id] = s
+	id := s.id
+	s.detachTimer = time.AfterFunc(d.resumeWindow, func() {
+		select {
+		case d.expireCh <- id:
+		case <-d.stopCh:
+		}
+	})
+	d.logf("daemon: holding session %s for resume", s.member)
+}
+
+// expireDetached ends a resume window: the session never came back.
+func (d *Daemon) expireDetached(id uint64) {
+	s := d.detached[id]
+	if s == nil {
+		return
+	}
+	delete(d.detached, id)
+	d.resumeExpired.Add(1)
+	d.logf("daemon: resume window expired for %s", s.member)
+	d.dropSession(s)
+}
+
+// evictDetached removes a detached session outside the normal expiry path
+// (reclaimed name, dead queue at resume).
+func (d *Daemon) evictDetached(s *session) {
+	delete(d.detached, s.id)
+	d.dropSession(s)
+}
+
+// Drain performs a graceful shutdown: stop accepting connections,
+// announce the drain to every client (EvtDrain), flush the fan-out queues
+// for up to timeout, then close the daemon — which leaves the ring
+// cleanly. New disconnects during a drain are dropped, not held for
+// resume.
+func (d *Daemon) Drain(timeout time.Duration) error {
+	start := time.Now()
+	d.draining.Store(true)
+	d.ln.Close()
+	deadline := start.Add(timeout)
+	// Hand the announcement to the main loop and wait until it has
+	// enqueued EvtDrain everywhere — otherwise the backlog poll below
+	// could see an already-empty tier and close sessions before the
+	// announcement is even written.
+	ack := make(chan struct{})
+	select {
+	case d.drainCh <- ack:
+		select {
+		case <-ack:
+		case <-d.stopCh:
+		case <-time.After(time.Until(deadline)):
+		}
+	case <-d.stopCh:
+	case <-time.After(time.Until(deadline)):
+	}
+	for time.Now().Before(deadline) {
+		if d.tier.Backlog() == 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	d.drainMs.Store(time.Since(start).Milliseconds())
+	d.logf("daemon: drain flushed in %dms", d.drainMs.Load())
+	return d.Close()
+}
+
+// Snapshot implements accelring.FanoutSource: the delivery tier's
+// aggregate counters plus the daemon's resume and drain accounting, so
+// Node.Metrics (and CmdStats, ringmon, BENCH reports on top of it) carry
+// the serving tier's availability counters.
+func (d *Daemon) Snapshot() fanout.TierSnapshot {
+	fs := d.tier.Snapshot()
+	fs.Resumes = d.resumes.Load()
+	fs.ResumeGaps = d.resumeGaps.Load()
+	fs.ResumeExpired = d.resumeExpired.Load()
+	fs.DrainMs = d.drainMs.Load()
+	return fs
+}
+
 // statsClientCap bounds the per-client detail in one stats snapshot: a
 // ~100-byte entry per client times tens of thousands of sessions would
 // exceed the IPC frame limit and sever the requesting client. Past the
@@ -292,7 +627,7 @@ const statsClientCap = 256
 // counters (including each client's fan-out queue state), group/session
 // and subscription totals, and the ring node's metrics.
 func (d *Daemon) encodeStats() []byte {
-	fs := d.tier.Snapshot()
+	fs := d.Snapshot()
 	snap := ipc.StatsSnapshot{
 		Daemon:        d.node.ID().String(),
 		Sessions:      len(d.sessions),
@@ -301,6 +636,12 @@ func (d *Daemon) encodeStats() []byte {
 		Shed:          fs.Shed,
 		Disconnects:   fs.Disconnects,
 		FanoutPolicy:  fs.Policy,
+		Detached:      len(d.detached),
+		Resumes:       fs.Resumes,
+		ResumeGaps:    fs.ResumeGaps,
+		ResumeExpired: fs.ResumeExpired,
+		Draining:      d.draining.Load(),
+		DrainMs:       fs.DrainMs,
 	}
 	if len(d.sessions) <= statsClientCap {
 		snap.Clients = make(map[string]ipc.ClientStats, len(d.sessions))
@@ -337,6 +678,11 @@ func (d *Daemon) encodeStats() []byte {
 // dropSession removes a disconnected client, multicasting leaves for every
 // group it belonged to so all daemons converge.
 func (d *Daemon) dropSession(s *session) {
+	s.state = sessGone
+	if s.detachTimer != nil {
+		s.detachTimer.Stop()
+		s.detachTimer = nil
+	}
 	// Always withdraw the delivery-tier registration — even a session
 	// that never completed CmdConnect holds one.
 	d.tier.Unregister(s.sub)
@@ -406,10 +752,20 @@ func (d *Daemon) applyRingMessage(m accelring.Message) {
 // stay a fresh allocation because subscriber queues retain it until their
 // writers drain it.
 func (d *Daemon) routeApp(p *appPayload, svc wire.Service) {
-	body := make([]byte, 0, 16+len(p.Sender)+len(p.Payload))
+	d.deliverySeq++
+	stamp := d.deliverySeq
+	body := make([]byte, 0, 32+len(p.Sender)+len(p.Payload)+12*len(p.Groups))
 	body = append(body, byte(svc))
+	body = ipc.PutUint64(body, stamp)
 	body = ipc.PutString(body, p.Sender)
-	body = ipc.PutStrings(body, p.Groups)
+	var cnt [2]byte
+	binary.BigEndian.PutUint16(cnt[:], uint16(len(p.Groups)))
+	body = append(body, cnt[:]...)
+	for _, g := range p.Groups {
+		d.groupSeq[g]++
+		body = ipc.PutString(body, g)
+		body = ipc.PutUint64(body, d.groupSeq[g])
+	}
 	body = append(body, p.Payload...)
 	var skip *fanout.Subscriber
 	if p.Flags&flagSelfDiscard != 0 {
@@ -417,7 +773,7 @@ func (d *Daemon) routeApp(p *appPayload, svc wire.Service) {
 			skip = s.sub
 		}
 	}
-	d.tier.Publish(p.Groups, ipc.EvtMessage, body, skip)
+	d.tier.Publish(p.Groups, ipc.EvtMessage, body, stamp, skip)
 }
 
 // applyJoin updates a group view and notifies local members. A local

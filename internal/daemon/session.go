@@ -4,9 +4,20 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"time"
 
 	"accelring/internal/fanout"
 	"accelring/internal/ipc"
+)
+
+// Session lifecycle, owned by the main loop: active sessions are in
+// d.sessions; a detached session (connection gone, delivery state held for
+// the resume window) is in d.detached; a gone session is inert and any
+// late unregister for it is ignored.
+const (
+	sessActive uint8 = iota
+	sessDetached
+	sessGone
 )
 
 // session is one connected client. The read side (readLoop) pumps frames
@@ -17,14 +28,27 @@ type session struct {
 	d    *Daemon
 	conn net.Conn
 	// sub is this session's delivery-tier handle: its queue, its group
-	// interests, and its shed/backlog counters.
-	sub *fanout.Subscriber
+	// interests, and its shed/backlog counters. A resumed session adopts
+	// the detached predecessor's subscriber, so the queue (and everything
+	// accumulated in it) survives the connection change. The main loop
+	// swaps it during that adoption while close may read it from any
+	// goroutine, hence subMu.
+	subMu sync.Mutex
+	sub   *fanout.Subscriber
 
-	// member is the client's private name once connected; submits counts
-	// this client's ring submissions. Both are owned by the daemon main
-	// loop.
+	// member is the client's private name once connected; id its resume
+	// session ID (0 when resume is disabled); submits counts this client's
+	// ring submissions. goodbye marks a deliberate close (CmdGoodbye), so
+	// the disconnect is not held for resume. All owned by the main loop,
+	// as are state and detachTimer.
 	member  string
+	id      uint64
 	submits uint64
+	goodbye bool
+	state   uint8
+	// detachTimer expires the detached session at the end of the resume
+	// window.
+	detachTimer *time.Timer
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -43,23 +67,30 @@ func newSession(d *Daemon, conn net.Conn) *session {
 		conn:   conn,
 		closed: make(chan struct{}),
 	}
-	s.sub = d.tier.Register(ipcSink{conn},
-		// onKill (PolicyDisconnect, synchronous from Publish): sever the
-		// connection so a writer stuck in a blocking socket write exits.
-		func() {
-			d.logf("daemon: disconnecting slow client %s", s.member)
-			s.close()
-		},
-		// onExit (writer stopped): hand the session to the main loop for
-		// teardown. Runs for socket write errors, slow-client kills, and
-		// plain closes alike; dropSession is idempotent.
-		func(err error) {
-			if err != nil && !errors.Is(err, fanout.ErrSlowClient) {
-				d.logf("daemon: client writer: %v", err)
-			}
-			s.unregister()
-		})
+	s.sub = d.tier.Register(ipcSink{conn}, s.killFunc(), s.exitFunc())
 	return s
+}
+
+// killFunc builds the subscriber kill callback (PolicyDisconnect,
+// synchronous from Publish): sever the connection so a writer stuck in a
+// blocking socket write exits.
+func (s *session) killFunc() func() {
+	return func() {
+		s.d.logf("daemon: disconnecting slow client %s", s.member)
+		s.close()
+	}
+}
+
+// exitFunc builds the subscriber exit callback (writer stopped): hand the
+// session to the main loop for teardown or detach. Runs for socket write
+// errors, slow-client kills, and plain closes alike.
+func (s *session) exitFunc() func(error) {
+	return func(err error) {
+		if err != nil && !errors.Is(err, fanout.ErrSlowClient) {
+			s.d.logf("daemon: client writer: %v", err)
+		}
+		s.unregister()
+	}
 }
 
 // readLoop pumps client frames into the daemon's main loop.
@@ -87,7 +118,8 @@ func (s *session) send(typ byte, body []byte) {
 	s.sub.Send(typ, body)
 }
 
-// unregister asks the main loop to drop this session.
+// unregister asks the main loop to decide this session's fate: drop, or
+// detach for the resume window.
 func (s *session) unregister() {
 	select {
 	case s.d.unregCh <- s:
@@ -101,7 +133,10 @@ func (s *session) unregister() {
 func (s *session) close() {
 	s.closeOnce.Do(func() {
 		close(s.closed)
-		s.sub.Close()
+		s.subMu.Lock()
+		sub := s.sub
+		s.subMu.Unlock()
+		sub.Close()
 		s.conn.Close()
 	})
 }

@@ -32,7 +32,7 @@ func TestPublishAllocs(t *testing.T) {
 	groups := []string{"hot", "warm"}
 	body := make([]byte, 256)
 	allocs := testing.AllocsPerRun(200, func() {
-		tier.Publish(groups, 1, body, nil)
+		tier.Publish(groups, 1, body, 0, nil)
 	})
 	if allocs != 0 {
 		t.Fatalf("Publish allocates %.1f times per call, want 0", allocs)

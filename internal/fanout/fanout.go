@@ -101,6 +101,17 @@ type Config struct {
 	// Policy is the backpressure policy applied to message frames when a
 	// queue is full; the zero value is PolicyDisconnect.
 	Policy Policy
+	// HistoryDepth bounds each subscriber's replay history: the last N
+	// message frames handed to its sink, kept so a detached session can
+	// resume past frames lost in the dying connection's socket buffer.
+	// Zero disables history — a resume then reports a gap whenever any
+	// frame was written beyond the client's acknowledged stamp.
+	HistoryDepth int
+	// Resumable makes a sink write failure detach the subscriber (exit
+	// callback still fires, with the write error) instead of closing its
+	// queue, so the owner can hold the session for a resume. Without it a
+	// failed write kills the subscriber, the pre-resume behavior.
+	Resumable bool
 }
 
 // Tier is the delivery tier: a registry of subscribers and their group
@@ -162,12 +173,105 @@ func (t *Tier) Policy() Policy { return t.cfg.Policy }
 // needs the publisher to make progress (it may, and typically does,
 // schedule an Unregister).
 func (t *Tier) Register(sink Sink, onKill func(), onExit func(error)) *Subscriber {
-	s := newSubscriber(t.cfg.QueueDepth, sink, onKill, onExit)
+	s := newSubscriber(t.cfg.QueueDepth, t.cfg.HistoryDepth, sink, onKill, onExit)
+	s.resumable = t.cfg.Resumable
+	s.gen = 1
 	t.mu.Lock()
 	t.subs[s] = struct{}{}
 	t.mu.Unlock()
-	go s.writeLoop()
+	go s.writeLoop(1)
 	return s
+}
+
+// ErrResumeClosed reports an Attach against a subscriber that is closed or
+// no longer registered: the detached session died (e.g. PolicyDisconnect
+// overflowed its queue while it was away) and cannot be resumed.
+var ErrResumeClosed = errors.New("fanout: subscriber closed before resume")
+
+// ErrNotDetached reports an Attach against a subscriber that still has a
+// live writer.
+var ErrNotDetached = errors.New("fanout: subscriber is not detached")
+
+// Detach stops the subscriber's writer without closing its queue: the
+// connection is gone but the session may come back. Interests stay
+// registered, the queue keeps accumulating under the backpressure policy
+// (PolicyBlock degrades to shed — see enqueueMessage), and the kill/exit
+// callbacks are cleared so nothing fires into the departed owner. It
+// reports false when the subscriber is closed or unregistered (nothing to
+// resume later).
+func (t *Tier) Detach(s *Subscriber) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.subs[s]; !ok {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if !s.detached {
+		s.detached = true
+		s.onKill = nil
+		s.onExit = nil
+		s.sink = nil
+		s.notEmpty.Broadcast()
+		s.notFull.Broadcast()
+	}
+	return true
+}
+
+// ResumeGap reports whether a resume of the detached subscriber from the
+// given stamp would have a gap, without attaching. The answer stays valid
+// until the next Publish touching the subscriber — in the daemon both run
+// on the main loop, which uses the answer to put the resume announcement
+// on the wire ahead of the replayed frames.
+func (t *Tier) ResumeGap(s *Subscriber, stamp uint64) (gap bool, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.subs[s]; !ok {
+		return false, ErrResumeClosed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, ErrResumeClosed
+	}
+	if !s.detached {
+		return false, ErrNotDetached
+	}
+	return s.dropped > stamp, nil
+}
+
+// Attach resumes a detached subscriber onto a replacement sink: history
+// frames past the client's acknowledged stamp are rewound to the front of
+// the queue, the callbacks are replaced, and a fresh writer starts. gap
+// reports that frames beyond stamp were dropped while the subscriber was
+// away (shed, or evicted past the history depth) — the resumed stream is
+// missing them and the client must be told. Attach fails with
+// ErrResumeClosed when the subscriber died while detached.
+func (t *Tier) Attach(s *Subscriber, sink Sink, stamp uint64, onKill func(), onExit func(error)) (gap bool, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.subs[s]; !ok {
+		return false, ErrResumeClosed
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, ErrResumeClosed
+	}
+	if !s.detached {
+		return false, ErrNotDetached
+	}
+	gap = s.rewind(stamp)
+	s.detached = false
+	s.sink = sink
+	s.onKill = onKill
+	s.onExit = onExit
+	s.gen++
+	go s.writeLoop(s.gen)
+	return gap, nil
 }
 
 // Unregister removes the subscriber from every group and from the tier,
@@ -258,13 +362,16 @@ func (t *Tier) removeFromGroup(s *Subscriber, group string) {
 // in any of the destination groups, exactly once per subscriber even when
 // it is interested in several of them, skipping skip (the self-discard
 // case). The frame body is retained by the queues until written and must
-// not be mutated afterwards. It returns the number of subscribers the
-// frame was enqueued for.
+// not be mutated afterwards. stamp is the publisher's delivery stamp —
+// strictly monotone across Publish calls, carried in each subscriber's
+// history for resume replay and gap accounting; pass 0 for streams that
+// never resume. It returns the number of subscribers the frame was
+// enqueued for.
 //
 // Publish allocates nothing: the per-message cost is the registry walk
 // plus one ring-slot write (or one policy action) per interested
 // subscriber.
-func (t *Tier) Publish(groups []string, typ byte, body []byte, skip *Subscriber) int {
+func (t *Tier) Publish(groups []string, typ byte, body []byte, stamp uint64, skip *Subscriber) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.stamp++
@@ -276,7 +383,7 @@ func (t *Tier) Publish(groups []string, typ byte, body []byte, skip *Subscriber)
 				continue
 			}
 			s.stamp = t.stamp
-			switch s.enqueueMessage(typ, body, t.cfg.Policy) {
+			switch s.enqueueMessage(typ, body, stamp, t.cfg.Policy) {
 			case enqOK:
 				n++
 				t.enqueued++
@@ -284,8 +391,11 @@ func (t *Tier) Publish(groups []string, typ byte, body []byte, skip *Subscriber)
 				t.shed++
 			case enqKilled:
 				t.disconnects++
-				if s.onKill != nil {
-					s.onKill()
+				s.mu.Lock()
+				kill := s.onKill
+				s.mu.Unlock()
+				if kill != nil {
+					kill()
 				}
 			case enqDead:
 				// Closed subscriber still awaiting Unregister; nothing to do.
@@ -321,6 +431,16 @@ type TierSnapshot struct {
 	Disconnects uint64 `json:"disconnects"`
 	// MaxBacklog is the deepest queue at snapshot time.
 	MaxBacklog int `json:"max_backlog"`
+	// Detached counts live subscribers whose connection is gone but whose
+	// queue is held for a resume. The remaining fields are filled by the
+	// tier's owner (the daemon), which runs the resume protocol and the
+	// drain: sessions resumed, resumed with a gap, expired unresumed, and
+	// the flush time of the last graceful drain.
+	Detached      int    `json:"detached,omitempty"`
+	Resumes       uint64 `json:"resumes,omitempty"`
+	ResumeGaps    uint64 `json:"resume_gaps,omitempty"`
+	ResumeExpired uint64 `json:"resume_expired,omitempty"`
+	DrainMs       int64  `json:"drain_ms,omitempty"`
 }
 
 // Snapshot assembles the tier-wide counters.
@@ -340,9 +460,25 @@ func (t *Tier) Snapshot() TierSnapshot {
 	}
 	for s := range t.subs {
 		snap.Delivered += s.delivered.Load()
-		if b := s.Backlog(); b > snap.MaxBacklog {
+		b, det := s.state()
+		if b > snap.MaxBacklog {
 			snap.MaxBacklog = b
+		}
+		if det {
+			snap.Detached++
 		}
 	}
 	return snap
+}
+
+// Backlog totals the pending frames across every registered subscriber —
+// what a graceful drain waits to reach zero.
+func (t *Tier) Backlog() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := 0
+	for s := range t.subs {
+		total += s.Backlog()
+	}
+	return total
 }

@@ -63,7 +63,7 @@ func TestInterestRoutingAndDedup(t *testing.T) {
 	tier.Subscribe(subC, "g1", SourceExplicit)
 	tier.Subscribe(subC, "g2", SourceMember)
 
-	if n := tier.Publish([]string{"g1", "g2"}, 1, []byte("x"), nil); n != 3 {
+	if n := tier.Publish([]string{"g1", "g2"}, 1, []byte("x"), 0, nil); n != 3 {
 		t.Fatalf("Publish enqueued for %d subscribers, want 3", n)
 	}
 	for name, sink := range map[string]*recordSink{"a": a, "b": b, "c": c} {
@@ -82,8 +82,8 @@ func TestUninterestedReceivesNothing(t *testing.T) {
 	sink := &recordSink{}
 	sub := tier.Register(sink, nil, nil)
 	tier.Subscribe(sub, "mine", SourceExplicit)
-	tier.Publish([]string{"other"}, 1, []byte("x"), nil)
-	tier.Publish([]string{"mine"}, 1, []byte("y"), nil)
+	tier.Publish([]string{"other"}, 1, []byte("x"), 0, nil)
+	tier.Publish([]string{"mine"}, 1, []byte("y"), 0, nil)
 	waitFor(t, "delivery", func() bool { return len(sink.snapshot()) >= 1 })
 	if got := sink.snapshot(); len(got) != 1 || string(got[0].body) != "y" {
 		t.Fatalf("got %d frames, want exactly the interested one", len(got))
@@ -100,12 +100,12 @@ func TestInterestSourcesAreIndependent(t *testing.T) {
 	if removed := tier.Unsubscribe(sub, "g", SourceMember); removed {
 		t.Fatal("losing one of two sources removed the interest")
 	}
-	tier.Publish([]string{"g"}, 1, []byte("still"), nil)
+	tier.Publish([]string{"g"}, 1, []byte("still"), 0, nil)
 	waitFor(t, "delivery", func() bool { return len(sink.snapshot()) == 1 })
 	if removed := tier.Unsubscribe(sub, "g", SourceExplicit); !removed {
 		t.Fatal("losing the last source did not remove the interest")
 	}
-	tier.Publish([]string{"g"}, 1, []byte("gone"), nil)
+	tier.Publish([]string{"g"}, 1, []byte("gone"), 0, nil)
 	time.Sleep(20 * time.Millisecond)
 	if got := sink.snapshot(); len(got) != 1 {
 		t.Fatalf("got %d frames after unsubscribing, want 1", len(got))
@@ -122,7 +122,7 @@ func TestPublishSkipsSelfDiscard(t *testing.T) {
 	subOther := tier.Register(other, nil, nil)
 	tier.Subscribe(subSelf, "g", SourceMember)
 	tier.Subscribe(subOther, "g", SourceMember)
-	if n := tier.Publish([]string{"g"}, 1, []byte("x"), subSelf); n != 1 {
+	if n := tier.Publish([]string{"g"}, 1, []byte("x"), 0, subSelf); n != 1 {
 		t.Fatalf("enqueued %d, want 1", n)
 	}
 	waitFor(t, "other delivery", func() bool { return len(other.snapshot()) == 1 })
@@ -146,7 +146,7 @@ func TestShedPolicyBoundsBacklog(t *testing.T) {
 		// Pace on the healthy queue so only the gated subscriber sheds:
 		// the assertion is isolation, not the healthy writer's raw speed.
 		waitFor(t, "healthy queue room", func() bool { return subHealthy.Backlog() < depth })
-		tier.Publish([]string{"g"}, 1, []byte("m"), nil)
+		tier.Publish([]string{"g"}, 1, []byte("m"), 0, nil)
 	}
 	waitFor(t, "healthy catch-up", func() bool { return len(healthy.snapshot()) == msgs })
 	if st := subHealthy.Stats(); st.Shed != 0 {
@@ -181,12 +181,12 @@ func TestBlockPolicyBlocksPublisher(t *testing.T) {
 
 	// First publish is popped by the writer (now stuck in the gate),
 	// second fills the queue, third must block.
-	tier.Publish([]string{"g"}, 1, []byte("1"), nil)
+	tier.Publish([]string{"g"}, 1, []byte("1"), 0, nil)
 	waitFor(t, "writer holding frame", func() bool { return sub.Backlog() == 0 })
-	tier.Publish([]string{"g"}, 1, []byte("2"), nil)
+	tier.Publish([]string{"g"}, 1, []byte("2"), 0, nil)
 	done := make(chan struct{})
 	go func() {
-		tier.Publish([]string{"g"}, 1, []byte("3"), nil)
+		tier.Publish([]string{"g"}, 1, []byte("3"), 0, nil)
 		close(done)
 	}()
 	select {
@@ -220,10 +220,10 @@ func TestDisconnectPolicyKillsSlowSubscriber(t *testing.T) {
 		func(err error) { exitErr <- err })
 	tier.Subscribe(sub, "g", SourceMember)
 
-	tier.Publish([]string{"g"}, 1, []byte("1"), nil) // writer pops it, blocks
+	tier.Publish([]string{"g"}, 1, []byte("1"), 0, nil) // writer pops it, blocks
 	waitFor(t, "writer stuck", func() bool { return sub.Backlog() == 0 })
-	tier.Publish([]string{"g"}, 1, []byte("2"), nil) // fills the queue
-	tier.Publish([]string{"g"}, 1, []byte("3"), nil) // overflows → kill
+	tier.Publish([]string{"g"}, 1, []byte("2"), 0, nil) // fills the queue
+	tier.Publish([]string{"g"}, 1, []byte("3"), 0, nil) // overflows → kill
 	if !killed.Load() {
 		t.Fatal("onKill did not run synchronously from Publish")
 	}
@@ -239,7 +239,7 @@ func TestDisconnectPolicyKillsSlowSubscriber(t *testing.T) {
 		t.Fatalf("disconnects = %d, want 1", snap.Disconnects)
 	}
 	// A dead subscriber still registered must not accept more frames.
-	if n := tier.Publish([]string{"g"}, 1, []byte("4"), nil); n != 0 {
+	if n := tier.Publish([]string{"g"}, 1, []byte("4"), 0, nil); n != 0 {
 		t.Fatalf("publish to dead subscriber enqueued %d", n)
 	}
 }
@@ -254,10 +254,10 @@ func TestControlFramesExemptFromBound(t *testing.T) {
 	// Fill: writer holds the first message, queue holds depth more. Wait
 	// for the writer to pop the first frame before filling, so none of
 	// the fill is shed.
-	tier.Publish([]string{"g"}, 1, []byte{0}, nil)
+	tier.Publish([]string{"g"}, 1, []byte{0}, 0, nil)
 	waitFor(t, "writer holding first frame", func() bool { return sub.Backlog() == 0 })
 	for i := 1; i <= depth; i++ {
-		tier.Publish([]string{"g"}, 1, []byte{byte(i)}, nil)
+		tier.Publish([]string{"g"}, 1, []byte{byte(i)}, 0, nil)
 	}
 	if got := sub.Backlog(); got != depth {
 		t.Fatalf("backlog = %d, want %d", got, depth)
@@ -313,7 +313,7 @@ func TestUnregisterWithdrawsAllInterests(t *testing.T) {
 		t.Fatalf("snapshot after unregister: %+v", snap)
 	}
 	for i := 0; i < 5; i++ {
-		if n := tier.Publish([]string{fmt.Sprintf("g%d", i)}, 1, []byte("x"), nil); n != 0 {
+		if n := tier.Publish([]string{fmt.Sprintf("g%d", i)}, 1, []byte("x"), 0, nil); n != 0 {
 			t.Fatalf("publish after unregister enqueued %d", n)
 		}
 	}
@@ -329,7 +329,7 @@ func TestWriteErrorStopsSubscriber(t *testing.T) {
 	exited := make(chan error, 1)
 	sub := tier.Register(sink, nil, func(err error) { exited <- err })
 	tier.Subscribe(sub, "g", SourceMember)
-	tier.Publish([]string{"g"}, 1, []byte("x"), nil)
+	tier.Publish([]string{"g"}, 1, []byte("x"), 0, nil)
 	select {
 	case err := <-exited:
 		if !errors.Is(err, boom) {
@@ -374,7 +374,7 @@ func TestConcurrentChurn(t *testing.T) {
 			case <-stop:
 				return
 			default:
-				tier.Publish(groups, 1, body, nil)
+				tier.Publish(groups, 1, body, 0, nil)
 			}
 		}
 	}()

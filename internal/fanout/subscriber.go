@@ -16,9 +16,13 @@ type Sink interface {
 	WriteFrame(typ byte, body []byte) error
 }
 
+// frame is one queued delivery. stamp is the publisher's monotone delivery
+// stamp for message frames, 0 for control frames (views, stats, welcomes);
+// only stamped frames participate in resume replay and gap accounting.
 type frame struct {
-	typ  byte
-	body []byte
+	typ   byte
+	body  []byte
+	stamp uint64
 }
 
 // enqueue outcomes for a message frame.
@@ -35,13 +39,27 @@ const (
 // queue drained by a dedicated writer goroutine. Messages and control
 // frames share the one queue so a client observes views, stats and
 // messages in exactly the order the daemon emitted them.
+//
+// A subscriber can be detached (Tier.Detach) when its connection drops:
+// the writer stops, the queue keeps accumulating under the backpressure
+// policy, and a later Attach with a replacement sink resumes the stream —
+// rewinding recently written frames past the client's acknowledged stamp
+// from the history ring, so socket-buffer loss at disconnect does not
+// become a silent gap.
 type Subscriber struct {
+	// sink, onKill and onExit belong to the current attachment; after
+	// Register they are read and written only under s.mu (Detach, Attach,
+	// and the writer's self-detach on sink failure all hold it).
 	sink   Sink
 	onKill func()
 	onExit func(error)
 
+	// resumable makes a sink write failure detach the queue instead of
+	// closing it (set once at Register from the tier config).
+	resumable bool
+
 	mu       sync.Mutex
-	notEmpty sync.Cond // frame enqueued, or queue closed
+	notEmpty sync.Cond // frame enqueued, or queue closed/detached
 	notFull  sync.Cond // frame dequeued, or queue closed
 	ring     []frame   // circular; len(ring) is physical capacity
 	head     int
@@ -49,6 +67,24 @@ type Subscriber struct {
 	depth    int // policy bound for message frames; control may exceed it
 	closed   bool
 	killErr  error // reason the queue was closed, nil for plain Close
+
+	// detached marks a subscriber whose writer has been stopped pending a
+	// resume; gen identifies the current writer so a superseded one that
+	// wakes from a stuck sink write exits without touching shared state.
+	detached bool
+	gen      uint64
+
+	// hist is the replay ring of the last histCap message frames handed to
+	// the sink (pushed before the write, so a frame lost to a failing
+	// write is still replayable). dropped is the highest stamp that is no
+	// longer replayable — shed under pressure or evicted from history — so
+	// a resume from stamp S has a gap iff dropped > S. Allocated on first
+	// use: an idle subscriber pays nothing.
+	hist      []frame
+	histHead  int
+	histCount int
+	histCap   int
+	dropped   uint64
 
 	highWater int
 
@@ -72,7 +108,7 @@ type Subscriber struct {
 // carry tens of thousands of mostly-drained clients.
 const initialRing = 64
 
-func newSubscriber(depth int, sink Sink, onKill func(), onExit func(error)) *Subscriber {
+func newSubscriber(depth, histCap int, sink Sink, onKill func(), onExit func(error)) *Subscriber {
 	phys := depth
 	if phys > initialRing {
 		phys = initialRing
@@ -83,6 +119,7 @@ func newSubscriber(depth int, sink Sink, onKill func(), onExit func(error)) *Sub
 		onExit:    onExit,
 		ring:      make([]frame, phys),
 		depth:     depth,
+		histCap:   histCap,
 		interests: make(map[string]Source),
 	}
 	s.notEmpty.L = &s.mu
@@ -91,11 +128,14 @@ func newSubscriber(depth int, sink Sink, onKill func(), onExit func(error)) *Sub
 }
 
 // enqueueMessage applies the backpressure policy and, when there is (or
-// becomes) room, appends a message frame.
-func (s *Subscriber) enqueueMessage(typ byte, body []byte, policy Policy) enqResult {
+// becomes) room, appends a message frame. While the subscriber is
+// detached, PolicyBlock degrades to PolicyShed: the publisher is the
+// daemon's main loop, which is also the goroutine that would serve the
+// resume that unblocks the queue — blocking it would deadlock the daemon.
+func (s *Subscriber) enqueueMessage(typ byte, body []byte, stamp uint64, policy Policy) enqResult {
 	s.mu.Lock()
-	if policy == PolicyBlock {
-		for s.count >= s.depth && !s.closed {
+	if policy == PolicyBlock && !s.detached {
+		for s.count >= s.depth && !s.closed && !s.detached {
 			s.notFull.Wait()
 		}
 	}
@@ -104,8 +144,11 @@ func (s *Subscriber) enqueueMessage(typ byte, body []byte, policy Policy) enqRes
 		return enqDead
 	}
 	if s.count >= s.depth {
-		switch policy {
-		case PolicyShed:
+		switch {
+		case policy == PolicyShed || (policy == PolicyBlock && s.detached):
+			if stamp > s.dropped {
+				s.dropped = stamp
+			}
 			s.mu.Unlock()
 			s.shed.Add(1)
 			return enqShed
@@ -118,7 +161,7 @@ func (s *Subscriber) enqueueMessage(typ byte, body []byte, policy Policy) enqRes
 	if s.count == len(s.ring) {
 		s.grow()
 	}
-	s.append(frame{typ: typ, body: body})
+	s.append(frame{typ: typ, body: body, stamp: stamp})
 	s.mu.Unlock()
 	s.msgs.Add(1)
 	return enqOK
@@ -167,45 +210,137 @@ func (s *Subscriber) grow() {
 	s.head = 0
 }
 
-// writeLoop drains the queue onto the sink until the queue closes or the
-// sink fails, then runs the exit callback exactly once.
-func (s *Subscriber) writeLoop() {
-	var err error
+// histPush records a frame as handed to the sink. With history disabled
+// (histCap <= 0) a written frame is immediately unreplayable, so dropped
+// advances and any resume past it reports a gap. Caller holds s.mu.
+func (s *Subscriber) histPush(f frame) {
+	if f.stamp == 0 {
+		return
+	}
+	if s.histCap <= 0 {
+		if f.stamp > s.dropped {
+			s.dropped = f.stamp
+		}
+		return
+	}
+	if s.hist == nil {
+		s.hist = make([]frame, s.histCap)
+	}
+	if s.histCount == s.histCap {
+		old := s.hist[s.histHead]
+		if old.stamp > s.dropped {
+			s.dropped = old.stamp
+		}
+		s.hist[s.histHead] = frame{}
+		s.histHead = (s.histHead + 1) % len(s.hist)
+		s.histCount--
+	}
+	s.hist[(s.histHead+s.histCount)%len(s.hist)] = f
+	s.histCount++
+}
+
+// rewind moves the history frames with stamp beyond the client's
+// acknowledged stamp back to the front of the pending queue (they will
+// re-enter history as they are rewritten) and reports whether the resumed
+// stream has a gap. Caller holds s.mu.
+func (s *Subscriber) rewind(stamp uint64) (gap bool) {
+	k := 0
+	for i := 0; i < s.histCount; i++ {
+		if s.hist[(s.histHead+i)%len(s.hist)].stamp > stamp {
+			k = s.histCount - i
+			break
+		}
+	}
+	for len(s.ring) < s.count+k {
+		s.grow()
+	}
+	if k > 0 {
+		s.head = (s.head - k + len(s.ring)) % len(s.ring)
+		base := s.histCount - k
+		for i := 0; i < k; i++ {
+			slot := (s.histHead + base + i) % len(s.hist)
+			s.ring[(s.head+i)%len(s.ring)] = s.hist[slot]
+			s.hist[slot] = frame{}
+		}
+		s.histCount = base
+		s.count += k
+		if s.count > s.highWater {
+			s.highWater = s.count
+		}
+	}
+	return s.dropped > stamp
+}
+
+// writeLoop drains the queue onto the sink until the queue closes, the
+// subscriber detaches, or the sink fails; the exit callback of the
+// attachment it belongs to runs exactly once, and not at all when the
+// writer was superseded or deliberately detached.
+func (s *Subscriber) writeLoop(gen uint64) {
 	for {
 		s.mu.Lock()
-		for s.count == 0 && !s.closed {
+		for s.count == 0 && !s.closed && !s.detached && s.gen == gen {
 			s.notEmpty.Wait()
 		}
-		if s.closed {
-			err = s.killErr
+		if s.gen != gen || s.detached {
 			s.mu.Unlock()
-			break
+			return
+		}
+		if s.closed {
+			err := s.killErr
+			exit := s.onExit
+			s.mu.Unlock()
+			if exit != nil {
+				exit(err)
+			}
+			return
 		}
 		f := s.ring[s.head]
 		s.ring[s.head] = frame{} // drop the body reference
 		s.head = (s.head + 1) % len(s.ring)
 		s.count--
+		s.histPush(f)
+		sink := s.sink
 		s.notFull.Broadcast()
 		s.mu.Unlock()
-		if werr := s.sink.WriteFrame(f.typ, f.body); werr != nil {
+		if werr := sink.WriteFrame(f.typ, f.body); werr != nil {
+			s.mu.Lock()
+			if s.gen != gen || s.detached {
+				// The failing write raced a detach or a resume; the frame is
+				// already in history, so the next attachment replays it.
+				s.mu.Unlock()
+				return
+			}
+			if s.resumable && !s.closed {
+				// The connection died under the writer: detach rather than
+				// close, so the owner can hold the session for a resume.
+				// The exit callback still fires so the owner learns.
+				s.detached = true
+				exit := s.onExit
+				s.onKill, s.onExit, s.sink = nil, nil, nil
+				s.notFull.Broadcast()
+				s.mu.Unlock()
+				if exit != nil {
+					exit(werr)
+				}
+				return
+			}
 			// Mark closed so a publisher blocked in PolicyBlock (or the
 			// owner) learns this subscriber is gone. If the queue was
 			// already killed (PolicyDisconnect severing a stuck write),
 			// the kill reason outranks the resulting socket error.
-			s.mu.Lock()
 			if s.closed && s.killErr != nil {
 				werr = s.killErr
 			} else {
 				s.closeLocked(werr)
 			}
+			exit := s.onExit
 			s.mu.Unlock()
-			err = werr
-			break
+			if exit != nil {
+				exit(werr)
+			}
+			return
 		}
 		s.delivered.Add(1)
-	}
-	if s.onExit != nil {
-		s.onExit(err)
 	}
 }
 
@@ -234,6 +369,14 @@ func (s *Subscriber) Backlog() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.count
+}
+
+// state reports the queue depth and whether the subscriber is live but
+// detached, in one lock acquisition for Snapshot.
+func (s *Subscriber) state() (backlog int, detached bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count, s.detached && !s.closed
 }
 
 // Stats is a point-in-time view of one subscriber's counters.

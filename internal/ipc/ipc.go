@@ -37,6 +37,44 @@ const (
 	// with the session.
 	CmdSubscribe
 	CmdUnsubscribe
+	// CmdResume (client → daemon) is the session-resume handshake, sent as
+	// the first frame of a reconnected connection instead of CmdConnect.
+	// Body: client name (length-prefixed), session ID (8 bytes), the last
+	// delivered global stamp (8 bytes), then a counted list of
+	// (group, last-delivered per-group sequence) pairs — each a
+	// length-prefixed group name followed by 8 bytes. The daemon answers
+	// with one EvtResumed frame and, when the session was found alive,
+	// replays its fan-out queue from the first frame after the stamp.
+	CmdResume
+	// EvtResumed (daemon → client) answers CmdResume. Body: one flags byte
+	// (resumedFlagResumed: the detached session was found and its stream
+	// continues; resumedFlagGap: the daemon dropped frames beyond the
+	// client's stamp while it was away, so the resumed stream has a gap),
+	// the private name (length-prefixed) and the session ID (8 bytes). When
+	// resumedFlagResumed is unset the daemon created a fresh session under
+	// the name instead — the client must reset its sequence tracking and
+	// replay its joins and subscriptions.
+	EvtResumed
+	// EvtDrain (daemon → client, empty body) announces that the daemon is
+	// draining: it has stopped accepting connections, will flush pending
+	// deliveries, and then close. Clients should finish reading and expect
+	// the connection to end.
+	EvtDrain
+	// CmdGoodbye (client → daemon, empty body) announces an intentional
+	// close: the daemon must drop the session immediately instead of
+	// holding it for the resume window.
+	CmdGoodbye
+)
+
+// EvtResumed flag bits.
+const (
+	// ResumedFlagResumed marks a successful resume: the session survived
+	// and the stream continues from the client's stamp.
+	ResumedFlagResumed byte = 1 << iota
+	// ResumedFlagGap marks that frames beyond the client's stamp were
+	// dropped while it was away (shed, or evicted past the resume
+	// history), so the resumed stream is missing messages.
+	ResumedFlagGap
 )
 
 // MaxFrame bounds one frame (payload plus protocol headers).
@@ -101,6 +139,22 @@ func GetString(src []byte) (string, []byte, error) {
 		return "", nil, ErrBadFrame
 	}
 	return string(src[:n]), src[n:], nil
+}
+
+// PutUint64 appends an 8-byte big-endian value (sequence stamps, session
+// IDs).
+func PutUint64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+// GetUint64 consumes an 8-byte big-endian value.
+func GetUint64(src []byte) (uint64, []byte, error) {
+	if len(src) < 8 {
+		return 0, nil, ErrBadFrame
+	}
+	return binary.BigEndian.Uint64(src), src[8:], nil
 }
 
 // PutStrings appends a counted list of length-prefixed strings.

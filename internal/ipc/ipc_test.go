@@ -101,11 +101,14 @@ func TestFrameTypeValuesStable(t *testing.T) {
 		"CmdMulticast": CmdMulticast, "EvtWelcome": EvtWelcome,
 		"EvtMessage": EvtMessage, "EvtView": EvtView, "CmdStats": CmdStats,
 		"EvtStats": EvtStats, "CmdSubscribe": CmdSubscribe, "CmdUnsubscribe": CmdUnsubscribe,
+		"CmdResume": CmdResume, "EvtResumed": EvtResumed, "EvtDrain": EvtDrain,
+		"CmdGoodbye": CmdGoodbye,
 	}
 	got := map[string]byte{
 		"CmdConnect": 1, "CmdJoin": 2, "CmdLeave": 3, "CmdMulticast": 4,
 		"EvtWelcome": 5, "EvtMessage": 6, "EvtView": 7, "CmdStats": 8,
 		"EvtStats": 9, "CmdSubscribe": 10, "CmdUnsubscribe": 11,
+		"CmdResume": 12, "EvtResumed": 13, "EvtDrain": 14, "CmdGoodbye": 15,
 	}
 	if !reflect.DeepEqual(want, got) {
 		t.Fatalf("frame type values moved:\nhave %v\nwant %v", want, got)
@@ -132,6 +135,19 @@ func TestSubscribeFrameRoundtrip(t *testing.T) {
 		if err != nil || group != "metrics/feed" || len(rest) != 0 {
 			t.Fatalf("group %q rest %v err %v", group, rest, err)
 		}
+	}
+}
+
+func TestUint64Roundtrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 1<<32 - 1, 1 << 63, ^uint64(0)} {
+		b := PutUint64(nil, v)
+		got, rest, err := GetUint64(b)
+		if err != nil || got != v || len(rest) != 0 {
+			t.Fatalf("v=%d: got %d rest %v err %v", v, got, rest, err)
+		}
+	}
+	if _, _, err := GetUint64([]byte{1, 2, 3}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("err = %v, want ErrBadFrame", err)
 	}
 }
 

@@ -42,6 +42,19 @@ type StatsSnapshot struct {
 	Shed          uint64 `json:"shed,omitempty"`
 	Disconnects   uint64 `json:"disconnects,omitempty"`
 	FanoutPolicy  string `json:"fanout_policy,omitempty"`
+	// Detached counts sessions whose connection dropped but whose delivery
+	// state is being held for the resume window. Resumes, ResumeGaps and
+	// ResumeExpired total successful session resumes, resumes whose stream
+	// had a gap (frames dropped while away), and detached sessions that
+	// expired unresumed.
+	Detached      int    `json:"detached,omitempty"`
+	Resumes       uint64 `json:"resumes,omitempty"`
+	ResumeGaps    uint64 `json:"resume_gaps,omitempty"`
+	ResumeExpired uint64 `json:"resume_expired,omitempty"`
+	// Draining reports that the daemon has begun a graceful drain; DrainMs
+	// is the time the last completed drain spent flushing queues.
+	Draining bool  `json:"draining,omitempty"`
+	DrainMs  int64 `json:"drain_ms,omitempty"`
 	// Clients maps each local client's private name to its counters. At
 	// serving scale the daemon omits this map rather than emit a snapshot
 	// frame that can't fit MaxFrame: ClientsOmitted reports how many

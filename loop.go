@@ -116,6 +116,15 @@ func (ts *timerSet) takeOne() (core.TimerKind, bool) {
 	return 0, false
 }
 
+// pendingFires counts expiries recorded but not yet consumed by the loop
+// — work the loop owes. The watchdog reads it from outside the protocol
+// goroutine.
+func (ts *timerSet) pendingFires() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.pending)
+}
+
 func (ts *timerSet) stopAll() {
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
@@ -128,7 +137,7 @@ func (ts *timerSet) stopAll() {
 // honoring the token/data priority policy, executes engine actions, and
 // serves submissions and stats requests.
 func (n *Node) loop(eng *core.Engine, initial []core.Action) {
-	ts := newTimerSet(&n.nm.timerStale)
+	ts := n.timers
 	defer func() {
 		ts.stopAll()
 		n.tr.Close()

@@ -64,6 +64,11 @@ type RuntimeMetrics struct {
 	SubmitErrors uint64 `json:"submit_errors"`
 	// EventsDelivered counts ordered events handed to the application.
 	EventsDelivered uint64 `json:"events_delivered"`
+	// WatchdogChecks and WatchdogStalls count liveness watchdog samples
+	// and the subset that found the protocol loop frozen with work
+	// pending. Zero when Options.WatchdogInterval is unset.
+	WatchdogChecks uint64 `json:"watchdog_checks,omitempty"`
+	WatchdogStalls uint64 `json:"watchdog_stalls,omitempty"`
 	// Instantaneous queue depths at snapshot time.
 	EventQueueLen int `json:"event_queue_len"`
 	DataQueueLen  int `json:"data_queue_len"`
@@ -116,6 +121,8 @@ type nodeMetrics struct {
 	submits                               metrics.Counter
 	submitErrors                          metrics.Counter
 	eventsDelivered                       metrics.Counter
+	watchdogChecks                        metrics.Counter
+	watchdogStalls                        metrics.Counter
 	errors                                metrics.Counter
 	tokenRotation                         *metrics.Histogram
 	tokenHandle                           *metrics.Histogram
@@ -150,6 +157,8 @@ func (m *nodeMetrics) runtimeSnapshot(n *Node) RuntimeMetrics {
 		Submits:         m.submits.Load(),
 		SubmitErrors:    m.submitErrors.Load(),
 		EventsDelivered: m.eventsDelivered.Load(),
+		WatchdogChecks:  m.watchdogChecks.Load(),
+		WatchdogStalls:  m.watchdogStalls.Load(),
 		EventQueueLen:   len(n.events),
 		DataQueueLen:    len(n.tr.Data()),
 		TokenQueueLen:   len(n.tr.Token()),

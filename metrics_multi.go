@@ -26,14 +26,21 @@ type MultiMetricsSnapshot struct {
 	Rings  []RingMetrics   `json:"rings"`
 	Merged MetricsSnapshot `json:"merged"`
 	Router RouterSnapshot  `json:"router"`
+	// ShardChecks and ShardStalls are the cross-ring watchdog's counters:
+	// relative-progress checks, and rings caught frozen while a sibling
+	// ring kept rotating its token. Zero when the watchdog is disabled.
+	ShardChecks uint64 `json:"shard_checks,omitempty"`
+	ShardStalls uint64 `json:"shard_stalls,omitempty"`
 }
 
 // Metrics returns the per-ring breakdown plus the merged view. Each ring's
 // snapshot is fetched synchronously from that ring's protocol loop.
 func (mn *MultiNode) Metrics() (MultiMetricsSnapshot, error) {
 	out := MultiMetricsSnapshot{
-		Rings:  make([]RingMetrics, 0, len(mn.nodes)),
-		Router: mn.router.Snapshot(),
+		Rings:       make([]RingMetrics, 0, len(mn.nodes)),
+		Router:      mn.router.Snapshot(),
+		ShardChecks: mn.shardChecks.Load(),
+		ShardStalls: mn.shardStalls.Load(),
 	}
 	snaps := make([]MetricsSnapshot, 0, len(mn.nodes))
 	for i, n := range mn.nodes {
@@ -101,6 +108,8 @@ func MergeMetricsSnapshots(snaps ...MetricsSnapshot) MetricsSnapshot {
 		r.Submits += n.Submits
 		r.SubmitErrors += n.SubmitErrors
 		r.EventsDelivered += n.EventsDelivered
+		r.WatchdogChecks += n.WatchdogChecks
+		r.WatchdogStalls += n.WatchdogStalls
 		r.EventQueueLen += n.EventQueueLen
 		r.DataQueueLen += n.DataQueueLen
 		r.TokenQueueLen += n.TokenQueueLen

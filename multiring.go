@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"accelring/internal/multiring"
@@ -78,6 +79,11 @@ type MultiNode struct {
 	nodes  []*Node
 	router *multiring.Router
 
+	// shardChecks/shardStalls are the shard watchdog's counters: checks
+	// performed, and rings caught frozen while a sibling advanced.
+	shardChecks atomic.Uint64
+	shardStalls atomic.Uint64
+
 	fwdWG     sync.WaitGroup
 	closeOnce sync.Once
 }
@@ -103,6 +109,14 @@ func StartMulti(opts MultiOptions) (*MultiNode, error) {
 	for i, tr := range opts.RingTransports {
 		ringOpts := opts.Node
 		ringOpts.Transport = tr
+		if orig := opts.Node.OnStall; orig != nil {
+			ring := i
+			// Label per-ring loop stalls with their shard index.
+			ringOpts.OnStall = func(r StallReport) {
+				r.Ring = ring
+				orig(r)
+			}
+		}
 		n, err := Start(ringOpts)
 		if err != nil {
 			return fail(fmt.Errorf("accelring: starting ring %d: %w", i, err))
@@ -154,6 +168,9 @@ func StartMulti(opts MultiOptions) (*MultiNode, error) {
 		mn.fwdWG.Wait()
 		close(mux)
 	}()
+	if opts.Node.WatchdogInterval > 0 {
+		go mn.shardWatchdog(opts.Node.WatchdogInterval, opts.Node.OnStall)
+	}
 	return mn, nil
 }
 

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Kill/restart recovery smoke: a single-node ringd is SIGKILLed and
+# restarted under a live ringload; ringload runs with -require-recovery,
+# so it exits non-zero unless its managed connection survived the outage
+# (>= 1 reconnect) AND delivered traffic afterwards. CI runs this to keep
+# the out-of-process recovery path honest; the in-process equivalent (and
+# the stronger no-dup/no-silent-gap assertions) is
+# internal/daemon.TestChaosKillRestartSoak.
+set -euo pipefail
+
+DIR=$(mktemp -d)
+SOCK="$DIR/ringd.sock"
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$DIR"' EXIT
+
+go build -o "$DIR/ringd" ./cmd/ringd
+go build -o "$DIR/ringload" ./cmd/ringload
+
+start_ringd() {
+    "$DIR/ringd" -id 1 -peers 1=127.0.0.1 -members 1 -mcast "" \
+        -socket "$SOCK" -drain-timeout 2s &
+    RINGD_PID=$!
+}
+
+start_ringd
+# Wait for the socket to appear.
+for _ in $(seq 1 50); do
+    [ -S "$SOCK" ] && break
+    sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "ringd never created $SOCK"; exit 1; }
+
+"$DIR/ringload" -socket "$SOCK" -name probe -rate 200 -size 64 \
+    -duration 8s -connect-wait 5s -reconnect -require-recovery &
+LOAD_PID=$!
+
+# Mid-run: kill the daemon abruptly (no drain), then restart it on the
+# same socket, exactly as a supervisor would.
+sleep 2
+kill -9 "$RINGD_PID"
+rm -f "$SOCK"
+sleep 1
+start_ringd
+
+wait "$LOAD_PID"
+echo "kill/restart smoke: ringload recovered"

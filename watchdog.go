@@ -1,0 +1,132 @@
+package accelring
+
+import (
+	"time"
+)
+
+// Liveness watchdog. The protocol loop is a single goroutine; if it
+// wedges — most plausibly blocked handing an ordered event to an
+// application that stopped draining Events, or stuck in a pathological
+// transport call — every in-band health check (Submit, Stats, Metrics)
+// hangs with it. The watchdog therefore never touches the loop: it
+// samples the loop's atomic progress counters and the queues feeding it,
+// and flags a stall when a full interval passes with pending work but no
+// progress. An idle ring (no pending work) is never a stall.
+
+// StallReport describes one stalled watchdog check.
+type StallReport struct {
+	// Ring is the shard index when a multi-ring shard watchdog flagged one
+	// frozen ring, and -1 for a single node's own protocol loop.
+	Ring int
+	// Interval is the watchdog's check interval: no progress was observed
+	// for at least this long.
+	Interval time.Duration
+	// PendingData, PendingToken and PendingTimers are the queue depths the
+	// stalled loop owes work for: undrained data and token packets, and
+	// timer expiries recorded but not consumed.
+	PendingData   int
+	PendingToken  int
+	PendingTimers int
+	// EventQueueFull reports that the Events channel was at capacity — the
+	// classic wedge: the application stopped draining and the loop is
+	// blocked mid-delivery.
+	EventQueueFull bool
+}
+
+// progress sums the counters that advance whenever the protocol loop
+// completes work of any kind. Strictly monotone; sampled lock-free.
+func (m *nodeMetrics) progress() uint64 {
+	return m.pktData.Load() + m.pktToken.Load() + m.pktJoin.Load() +
+		m.pktCommit.Load() + m.timerFires.Load() + m.submits.Load() +
+		m.submitErrors.Load() + m.eventsDelivered.Load()
+}
+
+// pendingWork samples the work queued for the protocol loop without
+// involving it.
+func (n *Node) pendingWork() (data, token, timers int, evFull bool) {
+	data = len(n.tr.Data())
+	token = len(n.tr.Token())
+	timers = n.timers.pendingFires()
+	evFull = len(n.events) == cap(n.events)
+	return
+}
+
+// watchdog runs until the node closes, checking every interval. A
+// deliberately wedged loop is flagged within two intervals: the first
+// tick records the (possibly still-advancing) progress sample, the next
+// tick observes it frozen with work pending.
+func (n *Node) watchdog(interval time.Duration, onStall func(StallReport)) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	last := n.nm.progress()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-tick.C:
+		}
+		n.nm.watchdogChecks.Inc()
+		cur := n.nm.progress()
+		data, token, timers, evFull := n.pendingWork()
+		if cur == last && (data > 0 || token > 0 || timers > 0 || evFull) {
+			n.nm.watchdogStalls.Inc()
+			if onStall != nil {
+				onStall(StallReport{
+					Ring:           -1,
+					Interval:       interval,
+					PendingData:    data,
+					PendingToken:   token,
+					PendingTimers:  timers,
+					EventQueueFull: evFull,
+				})
+			}
+		}
+		last = cur
+	}
+}
+
+// shardWatchdog is the multi-ring cross-check: each ring already runs its
+// own single-node watchdog, but a ring can also freeze in ways that look
+// idle from inside (token lost with failure detection disarmed, transport
+// silently dead). Relative progress exposes it: if any ring's token kept
+// rotating over an interval while another ring — previously rotating —
+// advanced zero tokens, that shard is stalled relative to the deployment
+// and the merged total order is held up behind its skip units.
+func (mn *MultiNode) shardWatchdog(interval time.Duration, onStall func(StallReport)) {
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	last := make([]uint64, len(mn.nodes))
+	cur := make([]uint64, len(mn.nodes))
+	for i, n := range mn.nodes {
+		last[i] = n.nm.pktToken.Load()
+	}
+	for {
+		select {
+		case <-mn.router.Done():
+			return
+		case <-tick.C:
+		}
+		mn.shardChecks.Add(1)
+		advanced := false
+		for i, n := range mn.nodes {
+			cur[i] = n.nm.pktToken.Load()
+			if cur[i] > last[i] {
+				advanced = true
+			}
+		}
+		if advanced {
+			for i := range cur {
+				// Only a ring that was rotating before (last > 0) can stall;
+				// a ring that never formed is a startup condition, not a
+				// wedge.
+				if cur[i] == last[i] && last[i] > 0 {
+					mn.shardStalls.Add(1)
+					if onStall != nil {
+						onStall(StallReport{Ring: i, Interval: interval})
+					}
+				}
+			}
+		}
+		copy(last, cur)
+	}
+}

@@ -1,0 +1,227 @@
+package accelring
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWatchdogFlagsWedgedLoop wedges a node's protocol loop the way real
+// deployments do it — the application stops draining Events — and asserts
+// the watchdog reports the stall within two check intervals of the wedge
+// becoming observable, then that the counters surface through Metrics
+// once the loop is unwedged.
+func TestWatchdogFlagsWedgedLoop(t *testing.T) {
+	const interval = 200 * time.Millisecond
+	net := NewMemoryNetwork(1)
+	members := []ParticipantID{1, 2}
+	stalls := make(chan StallReport, 16)
+
+	n1, err := Start(Options{
+		ID:                 1,
+		Transport:          net.Endpoint(1),
+		Members:            members,
+		TokenLossTimeout:   200 * time.Millisecond,
+		TokenRetransPeriod: 40 * time.Millisecond,
+		ConsensusTimeout:   100 * time.Millisecond,
+		CommitTimeout:      100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Close()
+	// Node 2 is the victim: a one-slot event buffer and no draining wedges
+	// its loop in deliver() as soon as two ordered events arrive.
+	n2, err := Start(Options{
+		ID:                 2,
+		Transport:          net.Endpoint(2),
+		Members:            members,
+		TokenLossTimeout:   200 * time.Millisecond,
+		TokenRetransPeriod: 40 * time.Millisecond,
+		ConsensusTimeout:   100 * time.Millisecond,
+		CommitTimeout:      100 * time.Millisecond,
+		EventBuffer:        1,
+		WatchdogInterval:   interval,
+		OnStall:            func(r StallReport) { stalls <- r },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n2.Close()
+
+	go func() {
+		// Keep node 1 submitting so node 2 has deliveries to wedge on; node
+		// 1 drains its own events.
+		for i := 0; i < 50; i++ {
+			n1.Submit([]byte("wedge"), Agreed)
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	go func() {
+		for range n1.Events() {
+		}
+	}()
+
+	// The wedge is observable once node 2's event buffer sits full.
+	var wedgedAt time.Time
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if len(n2.events) == cap(n2.events) {
+			wedgedAt = time.Now()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("node 2 never wedged")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	select {
+	case r := <-stalls:
+		if elapsed := time.Since(wedgedAt); elapsed > 2*interval+100*time.Millisecond {
+			t.Fatalf("stall reported after %v, want within 2×%v of the wedge", elapsed, interval)
+		}
+		if r.Ring != -1 {
+			t.Fatalf("single-node stall report carries ring %d", r.Ring)
+		}
+		if !r.EventQueueFull {
+			t.Fatalf("stall report %+v does not name the full event queue", r)
+		}
+	case <-time.After(3 * interval):
+		t.Fatalf("watchdog never reported the wedged loop (checks=%d)",
+			n2.nm.watchdogChecks.Load())
+	}
+
+	// Unwedge and check the counters ride Metrics (which round-trips the
+	// loop, so it only answers once the loop is live again).
+	go func() {
+		for range n2.Events() {
+		}
+	}()
+	m, err := n2.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Runtime.WatchdogStalls == 0 || m.Runtime.WatchdogChecks == 0 {
+		t.Fatalf("metrics: checks=%d stalls=%d, want both > 0",
+			m.Runtime.WatchdogChecks, m.Runtime.WatchdogStalls)
+	}
+}
+
+// TestWatchdogQuietWhenHealthy: a live ring (token rotating, events
+// drained) must never be flagged, even across many checks.
+func TestWatchdogQuietWhenHealthy(t *testing.T) {
+	const interval = 20 * time.Millisecond
+	net := NewMemoryNetwork(2)
+	members := []ParticipantID{1, 2}
+	var nodes []*Node
+	for _, id := range members {
+		n, err := Start(Options{
+			ID:                 id,
+			Transport:          net.Endpoint(id),
+			Members:            members,
+			TokenLossTimeout:   200 * time.Millisecond,
+			TokenRetransPeriod: 40 * time.Millisecond,
+			ConsensusTimeout:   100 * time.Millisecond,
+			CommitTimeout:      100 * time.Millisecond,
+			WatchdogInterval:   interval,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		go func() {
+			for range n.Events() {
+			}
+		}()
+		nodes = append(nodes, n)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for nodes[0].nm.watchdogChecks.Load() < 10 {
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never accumulated checks")
+		}
+		time.Sleep(interval)
+	}
+	for _, n := range nodes {
+		if s := n.nm.watchdogStalls.Load(); s != 0 {
+			t.Fatalf("node %s: healthy ring flagged %d stalls", n.ID(), s)
+		}
+	}
+}
+
+// TestShardWatchdogFlagsFrozenRing freezes one shard of a multi-ring node
+// (its ring node closed out from under the merge layer) and asserts the
+// cross-ring watchdog notices it relative to the still-advancing sibling.
+func TestShardWatchdogFlagsFrozenRing(t *testing.T) {
+	const interval = 100 * time.Millisecond
+	hubs := []*MemoryNetwork{NewMemoryNetwork(3), NewMemoryNetwork(4)}
+	members := []ParticipantID{1, 2}
+	stalls := make(chan StallReport, 64)
+	var multis []*MultiNode
+	for _, id := range members {
+		transports := []Transport{hubs[0].Endpoint(id), hubs[1].Endpoint(id)}
+		opts := MultiOptions{
+			Node: Options{
+				ID:                 id,
+				Members:            members,
+				TokenLossTimeout:   200 * time.Millisecond,
+				TokenRetransPeriod: 40 * time.Millisecond,
+				ConsensusTimeout:   100 * time.Millisecond,
+				CommitTimeout:      100 * time.Millisecond,
+			},
+			RingTransports: transports,
+			SkipInterval:   time.Millisecond,
+		}
+		if id == 1 {
+			opts.Node.WatchdogInterval = interval
+			opts.Node.OnStall = func(r StallReport) {
+				select {
+				case stalls <- r:
+				default:
+				}
+			}
+		}
+		mn, err := StartMulti(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mn.Close()
+		go func() {
+			for range mn.Events() {
+			}
+		}()
+		multis = append(multis, mn)
+	}
+	watched := multis[0]
+
+	// Wait for both rings to rotate tokens (the watchdog only trusts
+	// relative progress between rings that have rotated before).
+	deadline := time.Now().Add(10 * time.Second)
+	for watched.Ring(0).nm.pktToken.Load() == 0 || watched.Ring(1).nm.pktToken.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("rings never formed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Freeze shard 1 under this participant: its ring node dies, the
+	// sibling ring keeps rotating.
+	watched.Ring(1).Close()
+
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		select {
+		case r := <-stalls:
+			if r.Ring == 1 {
+				if watched.shardStalls.Load() == 0 {
+					t.Fatal("stall reported but counter is zero")
+				}
+				return
+			}
+			// Ring -1 or 0 reports can happen transiently; keep waiting.
+		case <-time.After(time.Until(deadline)):
+			t.Fatalf("shard watchdog never flagged the frozen ring (checks=%d stalls=%d)",
+				watched.shardChecks.Load(), watched.shardStalls.Load())
+		}
+	}
+}
