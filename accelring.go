@@ -26,6 +26,7 @@ import (
 
 	"accelring/internal/core"
 	"accelring/internal/flowctl"
+	"accelring/internal/ringpaxos"
 	"accelring/internal/transport"
 	"accelring/internal/wire"
 )
@@ -73,6 +74,43 @@ const (
 	// AcceleratedRing is the paper's contribution and the default.
 	AcceleratedRing = core.ProtocolAcceleratedRing
 )
+
+// EngineKind selects the ordering engine a node runs. Both engines
+// satisfy the same engine⇄runtime contract and run over any Transport
+// unchanged; they differ in how the total order is agreed on.
+type EngineKind string
+
+const (
+	// EngineAccelRing is the Accelerated Ring engine (the paper's
+	// protocol): token-circulated sequencing with Extended Virtual
+	// Synchrony membership. The default; supports dynamic discovery.
+	EngineAccelRing EngineKind = "accelring"
+	// EngineRingPaxos is the Ring Paxos engine: majority-quorum
+	// consensus with a ring-circulated Phase 2, coordinator election by
+	// view number, and in-order learner delivery. Requires a static
+	// member list (Options.Members) — the member set is the acceptor
+	// set. It provides total order and per-sender FIFO but not the full
+	// EVS axioms (see docs/PROTOCOL.md).
+	EngineRingPaxos EngineKind = "ringpaxos"
+)
+
+// ParseEngine maps a command-line spelling to an EngineKind. The empty
+// string selects the default (EngineAccelRing).
+func ParseEngine(s string) (EngineKind, error) {
+	switch EngineKind(s) {
+	case "", EngineAccelRing:
+		return EngineAccelRing, nil
+	case EngineRingPaxos:
+		return EngineRingPaxos, nil
+	default:
+		return "", fmt.Errorf("accelring: unknown engine %q (want %q or %q)",
+			s, EngineAccelRing, EngineRingPaxos)
+	}
+}
+
+// PaxosStats re-exports the Ring Paxos engine's counters so applications
+// never import internal packages.
+type PaxosStats = ringpaxos.Stats
 
 // Event is a totally ordered occurrence delivered to the application:
 // either a Message or a ConfigChange.
@@ -127,8 +165,12 @@ type Options struct {
 	// node must be started with the identical list). When empty the node
 	// discovers peers through the membership protocol.
 	Members []ParticipantID
-	// Protocol selects AcceleratedRing (default) or OriginalRing.
+	// Protocol selects AcceleratedRing (default) or OriginalRing. It only
+	// applies to the EngineAccelRing engine.
 	Protocol Protocol
+	// Engine selects the ordering engine: EngineAccelRing (default) or
+	// EngineRingPaxos. Ring Paxos requires a non-empty Members list.
+	Engine EngineKind
 	// Windows tunes flow control; zero values select defaults.
 	Windows Windows
 	// TokenLossTimeout overrides the failure-detection timeout.
@@ -174,10 +216,16 @@ type Options struct {
 type Node struct {
 	id     ParticipantID
 	tr     transport.Transport
-	events chan Event
+	engine EngineKind
+	// steadyRotation records whether the engine keeps its token rotating
+	// even when idle (core.RotationObserver): true for accelring, false
+	// for event-driven engines like ringpaxos. The shard watchdog picks
+	// its stall heuristic from it.
+	steadyRotation bool
+	events         chan Event
 
 	submitCh chan submitReq
-	statsCh  chan chan Stats
+	statsCh  chan chan statsReply
 	stopCh   chan struct{}
 	stopOnce sync.Once
 	done     chan struct{}
@@ -231,6 +279,25 @@ type submitReq struct {
 	errCh   chan error
 }
 
+// statsReply is one answer to a stats round-trip: the shared counters
+// plus, when the node runs the Ring Paxos engine, its protocol-specific
+// counters.
+type statsReply struct {
+	stats Stats
+	paxos *PaxosStats
+}
+
+// statsReplyFor snapshots the engine's counters on the protocol
+// goroutine.
+func statsReplyFor(eng core.OrderingEngine) statsReply {
+	r := statsReply{stats: eng.Stats()}
+	if pe, ok := eng.(*ringpaxos.Engine); ok {
+		px := pe.PaxosStats()
+		r.paxos = &px
+	}
+	return r
+}
+
 // Errors.
 var (
 	// ErrClosed is returned by operations on a closed node.
@@ -270,9 +337,31 @@ func Start(opts Options) (*Node, error) {
 		}
 		cfg.Flow = flow
 	}
-	eng, err := core.New(cfg)
+	engine, err := ParseEngine(string(opts.Engine))
 	if err != nil {
-		return nil, fmt.Errorf("accelring: %w", err)
+		return nil, err
+	}
+	var eng core.OrderingEngine
+	switch engine {
+	case EngineRingPaxos:
+		if len(opts.Members) == 0 {
+			return nil, errors.New("accelring: the ringpaxos engine requires a static Options.Members list")
+		}
+		// Stamp the incarnation from the wall clock so a restarted
+		// process never reuses its predecessor's proposer sequence space
+		// (one-second resolution; see core.Config.Incarnation).
+		cfg.Incarnation = uint32(time.Now().Unix())
+		pe, perr := ringpaxos.New(cfg)
+		if perr != nil {
+			return nil, fmt.Errorf("accelring: %w", perr)
+		}
+		eng = pe
+	default:
+		ae, aerr := core.New(cfg)
+		if aerr != nil {
+			return nil, fmt.Errorf("accelring: %w", aerr)
+		}
+		eng = ae
 	}
 	buf := opts.EventBuffer
 	if buf <= 0 {
@@ -281,15 +370,20 @@ func Start(opts Options) (*Node, error) {
 	n := &Node{
 		id:       opts.ID,
 		tr:       opts.Transport,
+		engine:   engine,
 		events:   make(chan Event, buf),
 		submitCh: make(chan submitReq),
-		statsCh:  make(chan chan Stats),
+		statsCh:  make(chan chan statsReply),
 		stopCh:   make(chan struct{}),
 		done:     make(chan struct{}),
 		nm:       newNodeMetrics(),
 	}
 	if bs, ok := opts.Transport.(transport.BatchSender); ok {
 		n.batcher = bs
+	}
+	n.steadyRotation = true
+	if ro, ok := eng.(core.RotationObserver); ok {
+		n.steadyRotation = ro.SteadyTokenRotation()
 	}
 	n.timers = newTimerSet(&n.nm.timerStale)
 
@@ -343,14 +437,29 @@ func (n *Node) Submit(payload []byte, service Service) error {
 	}
 }
 
+// Engine reports which ordering engine this node runs.
+func (n *Node) Engine() EngineKind { return n.engine }
+
 // Stats returns a snapshot of the protocol counters.
 func (n *Node) Stats() (Stats, error) {
-	ch := make(chan Stats, 1)
+	r, err := n.statsSnapshot()
+	return r.stats, err
+}
+
+// PaxosStats returns the Ring Paxos-specific counters, or nil when the
+// node runs the Accelerated Ring engine.
+func (n *Node) PaxosStats() (*PaxosStats, error) {
+	r, err := n.statsSnapshot()
+	return r.paxos, err
+}
+
+func (n *Node) statsSnapshot() (statsReply, error) {
+	ch := make(chan statsReply, 1)
 	select {
 	case n.statsCh <- ch:
 		return <-ch, nil
 	case <-n.done:
-		return Stats{}, ErrClosed
+		return statsReply{}, ErrClosed
 	}
 }
 

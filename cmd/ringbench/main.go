@@ -5,7 +5,7 @@
 // Usage:
 //
 //	ringbench [-figure figure1|...|figure7|all] [-ablation <id>|all] [-csv] [-quick] [-claims]
-//	ringbench -multiring [-rings 1,2,4,8] [-multiring-nodes 3] [-multiring-payload 512] [-multiring-dur 1s]
+//	ringbench -multiring [-rings 1,2,4,8] [-multiring-nodes 3] [-multiring-payload 512] [-multiring-dur 1s] [-engine accelring|ringpaxos]
 //
 // Examples:
 //
@@ -13,6 +13,7 @@
 //	ringbench -figure all -quick       # all figures, short measurement windows
 //	ringbench -figure figure3 -csv     # machine-readable output
 //	ringbench -multiring -metrics-json .   # ring-count scaling sweep -> BENCH_multiring.json
+//	ringbench -multiring -engine ringpaxos -rings 1,2,4 -metrics-json .   # Ring Paxos sweep -> BENCH_ringpaxos.json
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"accelring"
 	"accelring/internal/bench"
 	"accelring/internal/clusterbench"
 )
@@ -43,7 +45,18 @@ func run() int {
 	multiNodes := flag.Int("multiring-nodes", 3, "participants per ring for -multiring")
 	multiPayload := flag.Int("multiring-payload", 512, "payload bytes per message for -multiring")
 	multiDur := flag.Duration("multiring-dur", time.Second, "measurement window per -multiring point")
+	engineFlag := flag.String("engine", "", "ordering engine for -multiring: accelring (default) or ringpaxos; the ringpaxos sweep writes BENCH_ringpaxos.json")
 	flag.Parse()
+
+	engine, err := accelring.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ringbench: %v\n", err)
+		return 2
+	}
+	if *engineFlag != "" && !*multiring {
+		fmt.Fprintln(os.Stderr, "ringbench: -engine applies to the -multiring cluster sweep (the simulator figures model the accelerated ring)")
+		return 2
+	}
 
 	scale := bench.FullScale
 	if *quick {
@@ -51,7 +64,7 @@ func run() int {
 	}
 
 	if *multiring {
-		return runMultiRing(*ringsFlag, *multiNodes, *multiPayload, *multiDur, *quick, *metricsJSON)
+		return runMultiRing(*ringsFlag, *multiNodes, *multiPayload, *multiDur, *quick, *metricsJSON, engine)
 	}
 	if *ablationID != "" {
 		return runAblations(*ablationID, *csv, *metricsJSON)
@@ -135,8 +148,8 @@ func runAblations(id string, csv bool, metricsJSON string) int {
 }
 
 // runMultiRing executes the ring-count scaling sweep and optionally writes
-// BENCH_multiring.json.
-func runMultiRing(ringsCSV string, nodes, payload int, dur time.Duration, quick bool, metricsJSON string) int {
+// BENCH_multiring.json (or BENCH_<engine>.json for a non-default engine).
+func runMultiRing(ringsCSV string, nodes, payload int, dur time.Duration, quick bool, metricsJSON string, engine accelring.EngineKind) int {
 	var counts []int
 	for _, f := range strings.Split(ringsCSV, ",") {
 		f = strings.TrimSpace(f)
@@ -155,6 +168,7 @@ func runMultiRing(ringsCSV string, nodes, payload int, dur time.Duration, quick 
 		Nodes:       nodes,
 		PayloadSize: payload,
 		Measure:     dur,
+		Engine:      engine,
 	}
 	if quick {
 		cfg.Warmup = 150 * time.Millisecond
@@ -167,7 +181,7 @@ func runMultiRing(ringsCSV string, nodes, payload int, dur time.Duration, quick 
 	}
 	clusterbench.WriteMultiRingTable(os.Stdout, points)
 	if metricsJSON != "" {
-		path, err := clusterbench.WriteMultiRingReport(metricsJSON, points)
+		path, err := clusterbench.WriteMultiRingReport(metricsJSON, engine, points)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ringbench: %v\n", err)
 			return 1

@@ -12,6 +12,13 @@
 //	ringchaos -seeds 100           # longer campaign
 //	ringchaos -seed 17 -v          # reproduce one failing seed, verbosely
 //	ringchaos -nodes 8 -duration 800ms -offered 300
+//	ringchaos -engine ringpaxos    # same campaign against the Ring Paxos engine
+//
+// With -engine ringpaxos the same fault campaigns drive the Ring Paxos
+// engine through the simulator's EngineFactory hook, and the log is
+// checked against the total-order profile (Ring Paxos guarantees total
+// order, FIFO and duplicate freedom but waives the EVS membership
+// axioms — see docs/PROTOCOL.md).
 //
 // The process exits nonzero on the first conformance violation, printing
 // the reproducing seed and command line.
@@ -23,10 +30,12 @@ import (
 	"os"
 	"time"
 
+	"accelring"
 	"accelring/internal/core"
 	"accelring/internal/evscheck"
 	"accelring/internal/faultplan"
 	"accelring/internal/netsim"
+	"accelring/internal/ringpaxos"
 	"accelring/internal/wire"
 )
 
@@ -40,11 +49,17 @@ func run() int {
 	seed := flag.Int64("seed", 0, "run exactly this seed (overrides -seeds)")
 	duration := flag.Duration("duration", 400*time.Millisecond, "fault window and measurement length")
 	offered := flag.Float64("offered", 150, "aggregate offered load, Mbps")
+	engineFlag := flag.String("engine", "", "ordering engine: accelring (default) or ringpaxos")
 	verbose := flag.Bool("v", false, "print the fault plan and counters per seed")
 	flag.Parse()
 	if *nodes < 1 || *duration < time.Millisecond || *offered <= 0 {
 		fmt.Fprintf(os.Stderr, "ringchaos: need -nodes >= 1, -duration >= 1ms, -offered > 0 (got %d, %s, %g)\n",
 			*nodes, *duration, *offered)
+		return 2
+	}
+	engine, err := accelring.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ringchaos: %v\n", err)
 		return 2
 	}
 
@@ -58,10 +73,10 @@ func run() int {
 	}
 
 	for _, s := range campaign {
-		if !runSeed(s, *nodes, *duration, *offered, *verbose) {
-			fmt.Fprintf(os.Stderr, "\nFAIL: seed %d violated EVS conformance\nreproduce with:\n\n"+
-				"\tringchaos -seed %d -nodes %d -duration %s -offered %g -v\n",
-				s, s, *nodes, *duration, *offered)
+		if !runSeed(s, *nodes, *duration, *offered, engine, *verbose) {
+			fmt.Fprintf(os.Stderr, "\nFAIL: seed %d violated conformance\nreproduce with:\n\n"+
+				"\tringchaos -seed %d -nodes %d -duration %s -offered %g -engine %s -v\n",
+				s, s, *nodes, *duration, *offered, engine)
 			return 1
 		}
 	}
@@ -70,7 +85,7 @@ func run() int {
 }
 
 // runSeed executes one seeded campaign and reports conformance.
-func runSeed(seed int64, nodes int, dur time.Duration, offered float64, verbose bool) bool {
+func runSeed(seed int64, nodes int, dur time.Duration, offered float64, engine accelring.EngineKind, verbose bool) bool {
 	// The simulator has no crash/restart path (its nodes never leave), so
 	// campaigns draw from every class but crash; the core harness's chaos
 	// tests (go test ./internal/core -run Chaos) cover crash/restart.
@@ -87,6 +102,11 @@ func runSeed(seed int64, nodes int, dur time.Duration, offered float64, verbose 
 		Measure:     dur,
 		Faults:      &plan,
 		Capture:     true,
+	}
+	check := evscheck.Options{}
+	if engine == accelring.EngineRingPaxos {
+		cfg.EngineFactory = func(c core.Config) (core.OrderingEngine, error) { return ringpaxos.New(c) }
+		check.Profile = evscheck.ProfileTotalOrder
 	}
 	res, log, err := netsim.RunCapture(cfg)
 	if err != nil {
@@ -106,9 +126,9 @@ func runSeed(seed int64, nodes int, dur time.Duration, offered float64, verbose 
 
 	// The run is cut off while tokens still circulate, so tails may be
 	// incomplete; the checker verifies every delivered prefix.
-	vs := evscheck.Check(log, evscheck.Options{})
+	vs := evscheck.Check(log, check)
 	for _, v := range vs {
-		fmt.Fprintf(os.Stderr, "seed %d: EVS violation: %v\n", seed, v)
+		fmt.Fprintf(os.Stderr, "seed %d: conformance violation: %v\n", seed, v)
 	}
 	status := "ok"
 	if len(vs) > 0 {

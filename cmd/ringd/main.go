@@ -14,6 +14,10 @@
 // protocol. Without IP-multicast (-mcast ""), multicast is emulated with
 // unicast fan-out.
 //
+// -engine ringpaxos swaps the ordering engine for the Ring Paxos
+// comparison baseline (static membership required); the daemon's client
+// protocol, fan-out tier and metrics are engine-agnostic.
+//
 // For a single-host demo ring, give each daemon distinct ports:
 //
 //	ringd -id 1 -peers 1=127.0.0.1:7411:7412,2=127.0.0.1:7421:7422 -members 1,2 -socket /tmp/ringd1.sock -mcast ""
@@ -53,6 +57,7 @@ func run() int {
 	mcast := flag.String("mcast", defaultMcast, "data multicast group; empty emulates multicast with unicast")
 	socket := flag.String("socket", "/tmp/ringd.sock", "Unix socket for local clients")
 	protoFlag := flag.String("protocol", "accelerated", "ordering protocol: accelerated or original")
+	engineFlag := flag.String("engine", "", "ordering engine: accelring (default) or ringpaxos; ringpaxos requires a static -members list")
 	accelWindow := flag.Int("accel-window", 0, "accelerated window override (messages sent post-token)")
 	personalWindow := flag.Int("personal-window", 0, "personal window override")
 	pack := flag.Int("pack", 1350, "message packing threshold in bytes (0 disables); small client messages sharing a service are packed into one protocol packet")
@@ -106,6 +111,15 @@ func run() int {
 		logger.Printf("unknown -protocol %q", *protoFlag)
 		return 2
 	}
+	engine, err := accelring.ParseEngine(*engineFlag)
+	if err != nil {
+		logger.Print(err)
+		return 2
+	}
+	if engine == accelring.EngineRingPaxos && len(members) == 0 {
+		logger.Print("-engine ringpaxos requires a static -members list")
+		return 2
+	}
 	policy, err := fanout.ParsePolicy(*fanoutPolicy)
 	if err != nil {
 		logger.Printf("bad -fanout-policy: %v", err)
@@ -126,6 +140,7 @@ func run() int {
 		Transport: tr,
 		Members:   members,
 		Protocol:  protocol,
+		Engine:    engine,
 		Windows: accelring.Windows{
 			Personal:    *personalWindow,
 			Accelerated: *accelWindow,
@@ -167,7 +182,7 @@ func run() int {
 		node.Close()
 		return 1
 	}
-	logger.Printf("daemon %d serving on %s (protocol %s, fanout policy %s)", *id, *socket, *protoFlag, policy)
+	logger.Printf("daemon %d serving on %s (engine %s, protocol %s, fanout policy %s)", *id, *socket, engine, *protoFlag, policy)
 
 	// First signal: graceful drain — stop accepting, announce the drain to
 	// clients, flush the bounded fan-out queues within the budget, then

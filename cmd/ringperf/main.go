@@ -6,6 +6,7 @@
 //
 //	ringperf -nodes 4 -rate 200 -size 1350 -duration 5s -protocol accelerated
 //	ringperf -transport mem -rate 500 -service safe
+//	ringperf -engine ringpaxos -rate 100    # Ring Paxos comparison baseline
 package main
 
 import (
@@ -37,6 +38,7 @@ func run() int {
 	size := flag.Int("size", 1350, "payload size in bytes (>= 16)")
 	duration := flag.Duration("duration", 5*time.Second, "measurement duration")
 	protoFlag := flag.String("protocol", "accelerated", "accelerated or original")
+	engineFlag := flag.String("engine", "", "ordering engine: accelring (default) or ringpaxos")
 	serviceFlag := flag.String("service", "agreed", "agreed or safe")
 	transportFlag := flag.String("transport", "udp", "udp (loopback sockets) or mem (in-memory)")
 	pack := flag.Int("pack", 0, "message packing threshold (0 disables)")
@@ -66,6 +68,11 @@ func run() int {
 		logger.Printf("unknown -service %q", *serviceFlag)
 		return 2
 	}
+	engine, err := accelring.ParseEngine(*engineFlag)
+	if err != nil {
+		logger.Print(err)
+		return 2
+	}
 
 	members := make([]accelring.ParticipantID, *nodes)
 	for i := range members {
@@ -83,6 +90,7 @@ func run() int {
 			Transport:     transports[i],
 			Members:       members,
 			Protocol:      protocol,
+			Engine:        engine,
 			PackThreshold: *pack,
 		})
 		if err != nil {
@@ -199,6 +207,9 @@ func run() int {
 		label := *series
 		if label == "" {
 			label = fmt.Sprintf("%s/%s/%s", *transportFlag, *protoFlag, *serviceFlag)
+			if engine == accelring.EngineRingPaxos {
+				label = fmt.Sprintf("%s/%s/%s", *transportFlag, engine, *serviceFlag)
+			}
 			if *udpNoBatch {
 				label += "/nobatch"
 			}

@@ -46,10 +46,15 @@ type MultiRingConfig struct {
 	PersonalWindow, GlobalWindow int
 	// Seed drives the memnet hubs.
 	Seed int64
+	// Engine selects the ordering engine every ring runs ("" = accelring).
+	// The report file and benchmark id carry the engine name so the
+	// accelring and ringpaxos sweeps land in separate BENCH files.
+	Engine accelring.EngineKind
 }
 
 // MultiRingPoint is one measured ring count.
 type MultiRingPoint struct {
+	Engine      string  `json:"engine"`
 	Rings       int     `json:"rings"`
 	Nodes       int     `json:"nodes"`
 	PayloadSize int     `json:"payload_size"`
@@ -97,6 +102,9 @@ func (cfg *MultiRingConfig) defaults() {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.Engine == "" {
+		cfg.Engine = accelring.EngineAccelRing
+	}
 }
 
 // RunMultiRingSweep measures each ring count in turn and returns the
@@ -133,6 +141,10 @@ func runMultiRingPoint(cfg MultiRingConfig, m int) (MultiRingPoint, error) {
 			n.Close()
 		}
 	}()
+	engines := make([]accelring.EngineKind, m)
+	for r := range engines {
+		engines[r] = cfg.Engine
+	}
 	for _, id := range members {
 		transports := make([]accelring.Transport, m)
 		for r := range transports {
@@ -147,6 +159,7 @@ func runMultiRingPoint(cfg MultiRingConfig, m int) (MultiRingPoint, error) {
 				TokenRetransPeriod: 80 * time.Millisecond,
 			},
 			RingTransports: transports,
+			Engines:        engines,
 			SkipInterval:   time.Millisecond,
 			EventBuffer:    16384,
 		})
@@ -238,6 +251,7 @@ func runMultiRingPoint(cfg MultiRingConfig, m int) (MultiRingPoint, error) {
 	}
 	secs := elapsed.Seconds()
 	point := MultiRingPoint{
+		Engine:         string(cfg.Engine),
 		Rings:          m,
 		Nodes:          cfg.Nodes,
 		PayloadSize:    cfg.PayloadSize,
@@ -284,20 +298,29 @@ type MultiRingReport struct {
 	Points        []MultiRingPoint `json:"points"`
 }
 
-// WriteMultiRingReport writes the sweep as BENCH_multiring.json in dir and
-// returns the file path.
-func WriteMultiRingReport(dir string, points []MultiRingPoint) (string, error) {
+// WriteMultiRingReport writes the sweep as BENCH_<id>.json in dir and
+// returns the file path. The accelring sweep keeps its historical id
+// ("multiring" — BENCH_multiring.json); any other engine's sweep is named
+// after the engine (BENCH_ringpaxos.json), same shape, so the two reports
+// sit side by side.
+func WriteMultiRingReport(dir string, engine accelring.EngineKind, points []MultiRingPoint) (string, error) {
+	id := "multiring"
+	title := "Aggregate ordered throughput vs ring count (memnet)"
+	if engine != "" && engine != accelring.EngineAccelRing {
+		id = string(engine)
+		title = fmt.Sprintf("Aggregate ordered throughput vs ring count (memnet, %s engine)", engine)
+	}
 	rep := MultiRingReport{
-		Benchmark:     "multiring",
-		Title:         "Aggregate ordered throughput vs ring count (memnet)",
+		Benchmark:     id,
+		Title:         title,
 		GeneratedUnix: time.Now().Unix(),
 		Points:        points,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		return "", fmt.Errorf("clusterbench: encoding multiring report: %w", err)
+		return "", fmt.Errorf("clusterbench: encoding %s report: %w", id, err)
 	}
-	path := filepath.Join(dir, "BENCH_multiring.json")
+	path := filepath.Join(dir, "BENCH_"+id+".json")
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return "", fmt.Errorf("clusterbench: writing %s: %w", path, err)
 	}

@@ -3,8 +3,11 @@ package clusterbench
 import (
 	"encoding/json"
 	"os"
+	"path/filepath"
 	"testing"
 	"time"
+
+	"accelring"
 )
 
 // TestMultiRingSweepSmoke runs a miniature M=1 vs M=2 sweep end to end —
@@ -35,7 +38,7 @@ func TestMultiRingSweepSmoke(t *testing.T) {
 	}
 
 	dir := t.TempDir()
-	path, err := WriteMultiRingReport(dir, points)
+	path, err := WriteMultiRingReport(dir, accelring.EngineAccelRing, points)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,6 +51,51 @@ func TestMultiRingSweepSmoke(t *testing.T) {
 		t.Fatalf("report is not valid JSON: %v", err)
 	}
 	if rep.Benchmark != "multiring" || len(rep.Points) != 2 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+// TestRingPaxosSweepSmoke is the same miniature sweep with every ring on
+// the Ring Paxos engine: the points must carry the engine label and the
+// report must land in BENCH_ringpaxos.json with the shared shape.
+func TestRingPaxosSweepSmoke(t *testing.T) {
+	points, err := RunMultiRingSweep(MultiRingConfig{
+		RingCounts: []int{1, 2},
+		Nodes:      3,
+		Warmup:     150 * time.Millisecond,
+		Measure:    300 * time.Millisecond,
+		Seed:       7,
+		Engine:     accelring.EngineRingPaxos,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.Engine != string(accelring.EngineRingPaxos) {
+			t.Fatalf("point engine %q, want ringpaxos: %+v", p.Engine, p)
+		}
+		if p.Delivered == 0 || p.AggregateMbps <= 0 {
+			t.Fatalf("M=%d made no progress: %+v", p.Rings, p)
+		}
+	}
+
+	dir := t.TempDir()
+	path, err := WriteMultiRingReport(dir, accelring.EngineRingPaxos, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_ringpaxos.json" {
+		t.Fatalf("report path %s, want BENCH_ringpaxos.json", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep MultiRingReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Benchmark != "ringpaxos" || len(rep.Points) != 2 {
 		t.Fatalf("report: %+v", rep)
 	}
 }

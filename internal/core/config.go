@@ -124,6 +124,17 @@ type Config struct {
 	// disables packing. A typical value is 1350 (one protocol packet per
 	// MTU frame).
 	PackThreshold int
+
+	// Incarnation distinguishes successive restarts of the same
+	// participant. The ring engines derive freshness from their membership
+	// protocol and ignore it; the Ring Paxos engine folds it into the high
+	// bits of its proposer sequence numbers so a restarted proposer never
+	// collides with its previous incarnation's value keys. The root
+	// runtime stamps it from the wall clock at one-second resolution
+	// (restarts inside the same second fall back to pre-incarnation
+	// behaviour); the simulator and tests leave it zero or set it
+	// explicitly to stay deterministic.
+	Incarnation uint32
 }
 
 // Config validation errors.

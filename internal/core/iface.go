@@ -1,0 +1,92 @@
+package core
+
+import "accelring/internal/wire"
+
+// OrderingEngine is the engine ⇄ runtime contract every total-order
+// protocol implementation in this repository satisfies. An engine is a
+// deterministic, single-goroutine state machine: the runtime (the live
+// protocol loop over memnet/udpnet, or the discrete-event simulator) owns
+// exactly one goroutine per engine, feeds it inputs one at a time, and
+// carries out the returned actions strictly in order. The engine never
+// touches sockets, clocks or goroutines itself — time reaches it only
+// through HandleTimer, the network only through the Handle* methods.
+//
+// The contract, beyond the method signatures:
+//
+//   - Inputs are serialized. The runtime never calls two methods
+//     concurrently; the engine needs no locks.
+//   - Actions are executed in slice order. The position of SendToken among
+//     SendData actions is protocol-relevant (the Accelerated Ring's
+//     post-token phase, Ring Paxos's assignment-before-ack ordering).
+//   - The engine must not retain mutable references handed to Handle*
+//     beyond the call (decode targets are runtime-owned scratch); whatever
+//     it keeps, it copies.
+//   - Timer kinds are engine-defined reuses of the shared TimerKind set;
+//     at most one timer per kind is armed at a time.
+//
+// *Engine (the Accelerated Ring implementation) and
+// ringpaxos.Engine both satisfy this interface.
+type OrderingEngine interface {
+	// Config returns the engine's (defaulted) configuration.
+	Config() Config
+	// State reports the membership/protocol state for tracing.
+	State() State
+	// Ring returns the current configuration (view) of the engine.
+	Ring() Configuration
+	// Stats returns the shared counter snapshot. Engines map their own
+	// notions onto it (for Ring Paxos, TokensProcessed counts Phase 2
+	// circulation acks) so substrate-level instrumentation — rotation
+	// histograms, bench reports — works unchanged across engines.
+	Stats() Stats
+	// PendingLen reports the backlog of submitted-but-unordered messages.
+	PendingLen() int
+	// TokenHasPriority reports whether the runtime should prefer the
+	// token socket over the data socket right now.
+	TokenHasPriority() bool
+
+	// Submit queues one application payload for total ordering.
+	Submit(payload []byte, service wire.Service) error
+	// Start begins operation with dynamic membership discovery.
+	Start() []Action
+	// StartWithRing begins operation with a static member list (every
+	// participant must be started with the identical list).
+	StartWithRing(members []wire.ParticipantID) ([]Action, error)
+
+	// HandleData processes one received data message.
+	HandleData(m *wire.DataMessage) []Action
+	// HandleToken processes one received regular token.
+	HandleToken(t *wire.Token) []Action
+	// HandleJoin processes one received membership join message.
+	HandleJoin(j *wire.JoinMessage) []Action
+	// HandleCommit processes one received commit token.
+	HandleCommit(c *wire.CommitToken) []Action
+	// HandleTimer processes the expiry of the given timer kind.
+	HandleTimer(kind TimerKind) []Action
+}
+
+// Flusher is an optional extension of OrderingEngine for engines whose
+// Submit path produces immediate protocol output. The Accelerated Ring
+// engine sends only when it holds the token, so Submit just queues; a Ring
+// Paxos proposer must multicast the value right away, but Submit's
+// signature cannot return actions. A runtime that sees this interface MUST
+// call Flush after every successful Submit (and may call it at any other
+// quiescent point) and execute the returned actions as usual.
+type Flusher interface {
+	Flush() []Action
+}
+
+// RotationObserver is an optional extension reporting the engine's token
+// circulation discipline. Engines whose ring message keeps rotating even
+// when idle (the token ring: loss of rotation is loss of liveness) return
+// true; the shard watchdog may then treat a frozen token counter as a
+// wedge whenever a sibling ring advanced. Engines that quiesce their ring
+// traffic when idle (Ring Paxos pauses Phase 2 circulation with nothing to
+// decide) return false, and the watchdog must fall back to
+// progress-with-pending-work detection. Absence of the interface means
+// steady rotation (the historical assumption).
+type RotationObserver interface {
+	SteadyTokenRotation() bool
+}
+
+// Compile-time check: the Accelerated Ring engine satisfies the contract.
+var _ OrderingEngine = (*Engine)(nil)

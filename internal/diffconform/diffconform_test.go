@@ -1,0 +1,140 @@
+package diffconform
+
+import (
+	"fmt"
+	"testing"
+
+	"accelring"
+	"accelring/internal/faultplan"
+	"accelring/internal/ringpaxos"
+)
+
+var bothEngines = []accelring.EngineKind{accelring.EngineAccelRing, accelring.EngineRingPaxos}
+
+// runStrict executes one scenario on one engine and fails the test on
+// any divergence from the canonical order, reporting a minimized
+// seed-reproducible counterexample.
+func runStrict(t *testing.T, engine accelring.EngineKind, sc Scenario) {
+	t.Helper()
+	res, err := Run(engine, sc)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if d := CheckStrict(res, sc); d != nil {
+		t.Fatalf("%s", Minimize(engine, sc, d, 12))
+	}
+}
+
+// TestDifferentialStrictSeeds is the acceptance gate: the same seeded
+// loss/dup/delay faultplan schedules through both engines, every node of
+// every run delivering the identical canonical sequence.
+func TestDifferentialStrictSeeds(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	for _, seed := range seeds {
+		for _, engine := range bothEngines {
+			seed, engine := seed, engine
+			t.Run(fmt.Sprintf("seed%d/%s", seed, engine), func(t *testing.T) {
+				t.Parallel()
+				runStrict(t, engine, Scenario{
+					Seed:     seed,
+					Nodes:    3,
+					Messages: 24,
+					Burst:    2,
+					Classes:  faultplan.ClassLink,
+				})
+			})
+		}
+	}
+}
+
+// TestDifferentialPartitionSeeds drives partition/heal schedules through
+// both engines and applies the converged verdict: per-engine axiom
+// conformance under each engine's own evscheck profile, and identical
+// delivered sets at quiescence.
+func TestDifferentialPartitionSeeds(t *testing.T) {
+	for _, seed := range []int64{11, 17} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			sc := Scenario{
+				Seed:     seed,
+				Nodes:    3,
+				Messages: 18,
+				Classes:  faultplan.ClassLink | faultplan.ClassPartition,
+			}
+			a, err := Run(accelring.EngineAccelRing, sc)
+			if err != nil {
+				t.Fatalf("accelring run: %v", err)
+			}
+			b, err := Run(accelring.EngineRingPaxos, sc)
+			if err != nil {
+				t.Fatalf("ringpaxos run: %v", err)
+			}
+			if err := CheckConverged(a, b, sc); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestMutationProducesCounterexample is the suite's self-test: with the
+// ringpaxos assignment order deliberately broken (TestMutateAssignOrder
+// swaps the first two keys of every multi-key batch), the differential
+// suite must fail, and the failure must minimize to a seed-reproducible
+// counterexample.
+func TestMutationProducesCounterexample(t *testing.T) {
+	ringpaxos.TestMutateAssignOrder.Store(true)
+	defer ringpaxos.TestMutateAssignOrder.Store(false)
+
+	sc := Scenario{
+		Seed:     3,
+		Nodes:    3,
+		Messages: 24,
+		Burst:    2, // same-sender pairs: the swap inverts FIFO order
+		Classes:  0, // no faults needed — the bug is in the engine
+	}
+	res, err := Run(accelring.EngineRingPaxos, sc)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	d := CheckStrict(res, sc)
+	if d == nil {
+		t.Fatal("mutated engine passed the strict check; the suite has no teeth")
+	}
+	ce := Minimize(accelring.EngineRingPaxos, sc, d, 12)
+	if ce.Divergence == nil {
+		t.Fatal("minimization lost the divergence")
+	}
+	if ce.Scenario.Messages > sc.Messages || ce.Scenario.Messages < ce.Scenario.Burst {
+		t.Fatalf("minimized to nonsensical %s", ce.Scenario)
+	}
+	// Reproducibility: the minimized scenario must fail again from its
+	// seed alone.
+	res2, err := Run(accelring.EngineRingPaxos, ce.Scenario)
+	if err == nil && CheckStrict(res2, ce.Scenario) == nil {
+		t.Fatalf("counterexample did not reproduce: %s", ce)
+	}
+	t.Logf("minimized: %s", ce)
+
+	// The honest engine passes the identical scenario.
+	ringpaxos.TestMutateAssignOrder.Store(false)
+	runStrict(t, accelring.EngineRingPaxos, ce.Scenario)
+}
+
+// TestCanonicalAndHelpers pins the schedule helpers the oracle rests on.
+func TestCanonicalAndHelpers(t *testing.T) {
+	sc := Scenario{Nodes: 3, Messages: 6, Burst: 2}
+	want := []string{"m00000", "m00001", "m00002", "m00003", "m00004", "m00005"}
+	got := Canonical(sc)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Canonical[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	sc = sc.withDefaults()
+	// Bursts stay on one sender; steps rotate.
+	if senderOf(sc, 0) != senderOf(sc, 1) || senderOf(sc, 1) == senderOf(sc, 2) {
+		t.Fatalf("senderOf burst grouping broken: %d %d %d",
+			senderOf(sc, 0), senderOf(sc, 1), senderOf(sc, 2))
+	}
+}

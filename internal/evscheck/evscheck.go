@@ -100,6 +100,32 @@ func (l Log) Node(name string) *NodeLog {
 	return nl
 }
 
+// Profile selects which axioms a run is held to. Different ordering
+// engines make different guarantees; checking an engine against axioms it
+// never promised produces noise, not verdicts.
+type Profile int
+
+const (
+	// ProfileEVS checks the full Extended Virtual Synchrony axiom set —
+	// the Accelerated Ring engine's contract. The zero value.
+	ProfileEVS Profile = iota
+	// ProfileTotalOrder checks the Ring Paxos engine's contract: total
+	// order and per-sender FIFO, without membership-coupled guarantees.
+	//
+	// Kept as-is: configuration sequencing, no-duplicate, FIFO.
+	// Weakened: agreement becomes pairwise relative-order consistency
+	// over the keys two nodes both delivered (a learner may start
+	// mid-stream after a fast-forward, so prefix alignment is not
+	// promised); quiescent completeness becomes aligned-suffix equality
+	// (every non-crashed node ends on the identical final stretch of the
+	// global order).
+	// Waived: virtual synchrony (views are not delivery-synchronized
+	// barriers — the engine keeps delivering across view changes) and
+	// safe-stability (Safe is ordered but not stability-gated; see
+	// docs/PROTOCOL.md).
+	ProfileTotalOrder
+)
+
 // Options tunes the strictness of Check.
 type Options struct {
 	// Quiescent asserts the run ended with no traffic in flight: every
@@ -107,6 +133,8 @@ type Options struct {
 	// end-of-log completeness checks (final-epoch set equality and safe
 	// stability against nodes still in their final configuration).
 	Quiescent bool
+	// Profile selects the axiom set (default ProfileEVS).
+	Profile Profile
 }
 
 // Violation is one detected axiom violation.
@@ -233,12 +261,78 @@ func Check(l Log, opt Options) []Violation {
 		})
 	}
 
+	if opt.Profile == ProfileTotalOrder {
+		for i, a := range names {
+			for _, b := range names[i+1:] {
+				vs = append(vs, checkPairTotalOrder(a, b, l[a], l[b], opt)...)
+			}
+		}
+		return vs
+	}
+
 	for i, a := range names {
 		for _, b := range names[i+1:] {
 			vs = append(vs, checkPair(a, b, segsOf[a], segsOf[b], l[a], l[b], opt)...)
 		}
 	}
 	vs = append(vs, checkSafeStability(names, segsOf, l, opt)...)
+	return vs
+}
+
+// deliveryKeys flattens a log to its delivered message keys in order.
+func deliveryKeys(nl *NodeLog) []string {
+	var out []string
+	for _, e := range nl.Events {
+		if !e.Config {
+			out = append(out, e.Key)
+		}
+	}
+	return out
+}
+
+// checkPairTotalOrder applies ProfileTotalOrder's pairwise axioms.
+func checkPairTotalOrder(a, b string, la, lb *NodeLog, opt Options) []Violation {
+	var vs []Violation
+	pair := a + "|" + b
+	ka, kb := deliveryKeys(la), deliveryKeys(lb)
+
+	// Agreement: the keys both nodes delivered appear in the same
+	// relative order at each.
+	pos := make(map[string]int, len(ka))
+	for i, k := range ka {
+		pos[k] = i
+	}
+	last := -1
+	for _, k := range kb {
+		pa, ok := pos[k]
+		if !ok {
+			continue
+		}
+		if pa <= last {
+			vs = append(vs, Violation{Axiom: "agreement", Node: pair, Detail: fmt.Sprintf(
+				"common message %q delivered out of relative order", k)})
+			break
+		}
+		last = pa
+	}
+
+	// Quiescent completeness: every non-crashed node ends on the identical
+	// final stretch of the global order (a late-started incarnation may
+	// miss a prefix, never a suffix).
+	if opt.Quiescent && !la.Crashed && !lb.Crashed {
+		n := len(ka)
+		if len(kb) < n {
+			n = len(kb)
+		}
+		for i := 1; i <= n; i++ {
+			if ka[len(ka)-i] != kb[len(kb)-i] {
+				vs = append(vs, Violation{Axiom: "completeness", Node: pair, Detail: fmt.Sprintf(
+					"aligned suffixes diverge %d from the end: %q vs %q",
+					i, ka[len(ka)-i], kb[len(kb)-i])})
+				break
+			}
+		}
+	}
 	return vs
 }
 

@@ -177,3 +177,98 @@ func TestViolationString(t *testing.T) {
 		t.Fatalf("uninformative violation string %q", s)
 	}
 }
+
+// paxosLog builds a clean total-order-profile history: a static ring, one
+// node starting mid-stream (fast-forwarded learner), everyone ending on
+// the same suffix.
+func paxosLog() Log {
+	ring := wire.RingID{Rep: 1, Seq: 4}
+	all := []wire.ParticipantID{1, 2, 3}
+	l := Log{}
+	for _, name := range []string{"1", "2"} {
+		nl := l.Node(name)
+		nl.Install(ring, all, false)
+		nl.Deliver("m1", 1, 1, wire.ServiceAgreed)
+		nl.Deliver("m2", 2, 1, wire.ServiceAgreed)
+		nl.Deliver("m3", 1, 2, wire.ServiceAgreed)
+		nl.Deliver("m4", 3, 1, wire.ServiceAgreed)
+	}
+	// Node 3 restarted and fast-forwarded past m1/m2: a prefix miss the
+	// profile tolerates.
+	nl := l.Node("3")
+	nl.Install(ring, all, false)
+	nl.Deliver("m3", 1, 2, wire.ServiceAgreed)
+	nl.Deliver("m4", 3, 1, wire.ServiceAgreed)
+	return l
+}
+
+func TestTotalOrderProfileCleanLogPasses(t *testing.T) {
+	opt := Options{Quiescent: true, Profile: ProfileTotalOrder}
+	if vs := Check(paxosLog(), opt); len(vs) != 0 {
+		t.Fatalf("clean total-order log flagged: %v", vs)
+	}
+	// The same log fails the full EVS profile (node 3's prefix miss is a
+	// completeness violation there) — the waiver is what the profile is
+	// for.
+	expectViolation(t, Check(paxosLog(), Options{Quiescent: true}), "completeness")
+}
+
+func TestTotalOrderProfileRelativeOrderDetected(t *testing.T) {
+	// Mutation self-test: swapping two common messages at one node must be
+	// an agreement violation even under the weakened profile.
+	l := paxosLog()
+	evs := l["2"].Events
+	evs[1], evs[2] = evs[2], evs[1] // swap m1 and m2 at node 2
+	expectViolation(t, Check(l, Options{Profile: ProfileTotalOrder}), "agreement")
+}
+
+func TestTotalOrderProfileSuffixCompletenessDetected(t *testing.T) {
+	// A non-crashed node missing the tail of the order (m4) is flagged in
+	// a quiescent run and tolerated otherwise.
+	l := paxosLog()
+	nl := l["2"]
+	nl.Events = nl.Events[:len(nl.Events)-1]
+	if vs := Check(l, Options{Profile: ProfileTotalOrder}); len(vs) != 0 {
+		t.Fatalf("in-flight tail flagged without Quiescent: %v", vs)
+	}
+	expectViolation(t, Check(l, Options{Quiescent: true, Profile: ProfileTotalOrder}), "completeness")
+	// A crashed incarnation's short log is waived.
+	l["2"].Crashed = true
+	if vs := Check(l, Options{Quiescent: true, Profile: ProfileTotalOrder}); len(vs) != 0 {
+		t.Fatalf("crashed node flagged: %v", vs)
+	}
+}
+
+func TestTotalOrderProfileKeepsPerNodeAxioms(t *testing.T) {
+	l := paxosLog()
+	l["1"].Deliver("m3", 1, 2, wire.ServiceAgreed) // duplicate
+	expectViolation(t, Check(l, Options{Profile: ProfileTotalOrder}), "no-duplicate")
+
+	l = paxosLog()
+	l["1"].Deliver("m9", 1, 1, wire.ServiceAgreed) // stale sender counter
+	expectViolation(t, Check(l, Options{Profile: ProfileTotalOrder}), "fifo")
+
+	l = Log{}
+	l.Node("1").Deliver("m1", 1, 1, wire.ServiceAgreed)
+	expectViolation(t, Check(l, Options{Profile: ProfileTotalOrder}), "config-sequencing")
+}
+
+func TestTotalOrderProfileWaivesMembershipAxioms(t *testing.T) {
+	// The full-EVS baseLog mutations for virtual synchrony and safe
+	// stability must NOT be violations under ProfileTotalOrder: the Ring
+	// Paxos engine never promised them.
+	l := baseLog()
+	var kept []Event
+	for _, e := range l["2"].Events {
+		if e.Key == "m4b" || e.Key == "m3" {
+			continue // drops a transitional delivery and a Safe message
+		}
+		kept = append(kept, e)
+	}
+	l["2"].Events = kept
+	for _, v := range Check(l, Options{Profile: ProfileTotalOrder}) {
+		if v.Axiom == "virtual-synchrony" || v.Axiom == "safe-stability" {
+			t.Fatalf("waived axiom flagged: %v", v)
+		}
+	}
+}

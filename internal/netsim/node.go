@@ -25,7 +25,7 @@ type packet struct {
 // bounded receive socket buffers, a NIC, and a local sending client.
 type simNode struct {
 	sim *Sim
-	eng *core.Engine
+	eng core.OrderingEngine
 	idx int // index into sim.nodes and sim.ports
 
 	cpuFree time.Duration
@@ -44,7 +44,7 @@ type simNode struct {
 	timers map[core.TimerKind]time.Duration
 }
 
-func newSimNode(s *Sim, eng *core.Engine) *simNode {
+func newSimNode(s *Sim, eng core.OrderingEngine) *simNode {
 	return &simNode{
 		sim:    s,
 		eng:    eng,
@@ -198,6 +198,12 @@ func (n *simNode) processSubmissions(prof *Profile, limit int) {
 			// experiment; losing the message only lowers achieved
 			// throughput, which the stability check reports.
 			return
+		}
+		// Engines with an eager submit path (Ring Paxos proposers
+		// multicast the value immediately) hand that output back via
+		// Flush, per the OrderingEngine contract.
+		if fl, ok := n.eng.(core.Flusher); ok {
+			n.execute(fl.Flush())
 		}
 	}
 }

@@ -27,6 +27,11 @@ type Config struct {
 	// Engine is the protocol configuration template (MyID is overwritten
 	// per node). Zero value means accelerated-ring defaults.
 	Engine core.Config
+	// EngineFactory, when non-nil, constructs each node's ordering engine
+	// from its per-node config — the hook that runs a different protocol
+	// (e.g. ringpaxos.New) through the same simulated network. Nil means
+	// the Accelerated Ring engine (core.New).
+	EngineFactory func(core.Config) (core.OrderingEngine, error)
 	// PayloadSize is the clean application payload per message, in bytes
 	// (1350 and 8850 in the paper).
 	PayloadSize int
@@ -242,10 +247,14 @@ func RunCapture(cfg Config) (Result, evscheck.Log, error) {
 	for i := range members {
 		members[i] = wire.ParticipantID(i + 1)
 	}
+	newEngine := cfg.EngineFactory
+	if newEngine == nil {
+		newEngine = func(c core.Config) (core.OrderingEngine, error) { return core.New(c) }
+	}
 	for i := range s.nodes {
 		ecfg := cfg.Engine
 		ecfg.MyID = members[i]
-		eng, err := core.New(ecfg)
+		eng, err := newEngine(ecfg)
 		if err != nil {
 			return Result{}, nil, fmt.Errorf("netsim: %w", err)
 		}

@@ -1,0 +1,472 @@
+package ringpaxos
+
+import (
+	"encoding/binary"
+
+	"accelring/internal/core"
+	"accelring/internal/wire"
+)
+
+// Ring Paxos control traffic rides in ordinary data frames so the engine
+// needs no new wire kinds and every existing transport carries it
+// untouched. A control frame is distinguished from a value (proposal)
+// frame by the Recovered flag — a flag the Accelerated Ring engine only
+// uses during membership recovery and Ring Paxos never needs for its
+// original purpose. The frame's Round field carries the relevant view and
+// payload[0] is the control subkind:
+//
+//	subAssign  (1): coordinator → all. Phase 2a assignment batch:
+//	               decided watermark, base instance, then packed value
+//	               keys for consecutive instances base, base+1, …
+//	subReport  (2): member → all. Phase 1b report for view Round:
+//	               decided watermark, highest known instance, then
+//	               {instance, accepted view, key} triples.
+//	subNack    (3): lagging learner → all. Flags (bit 0: sender needs the
+//	               view install), the sender's promised view, then the
+//	               instances it cannot deliver.
+//	subInstall (4): view coordinator → all. View installation: the active
+//	               ring member list for view Round.
+//	subDecided (5): catch-up answer → all. One decided instance: its key
+//	               and (for non-noop slots) the value bytes inline.
+//
+// Value frames are plain data frames: PID = proposer, Seq = the
+// proposer's incarnation-tagged 64-bit submission sequence (see valKey).
+// Noop slots (gap filler after a view change) use the reserved key pid 0
+// and carry no value.
+const (
+	subAssign  = 1
+	subReport  = 2
+	subNack    = 3
+	subInstall = 4
+	subDecided = 5
+)
+
+// reportEntry is one accepted assignment in a Phase 1b report.
+type reportEntry struct {
+	instance uint64
+	view     uint64
+	key      valKey
+}
+
+// report is one member's parsed Phase 1b response.
+type report struct {
+	decided uint64
+	high    uint64
+	entries []reportEntry
+}
+
+// controlFrame wraps a control payload in a data frame.
+func (e *Engine) controlFrame(view uint64, payload []byte) *wire.DataMessage {
+	return &wire.DataMessage{
+		RingID:    e.ringID,
+		PID:       e.cfg.MyID,
+		Round:     wire.Round(view),
+		Recovered: true,
+		Service:   wire.ServiceAgreed,
+		Payload:   payload,
+	}
+}
+
+func putU64(b []byte, v uint64) { binary.BigEndian.PutUint64(b, v) }
+func getU64(b []byte) uint64    { return binary.BigEndian.Uint64(b) }
+func putU32(b []byte, v uint32) { binary.BigEndian.PutUint32(b, v) }
+func getU32(b []byte) uint32    { return binary.BigEndian.Uint32(b) }
+
+// keyWireSize is the encoded size of one valKey: proposer ID (u32) plus
+// the 64-bit incarnation-tagged submission sequence.
+const keyWireSize = 12
+
+func putKey(b []byte, k valKey) {
+	putU32(b, uint32(k.pid))
+	putU64(b[4:], k.seq)
+}
+
+func getKey(b []byte) valKey {
+	return valKey{pid: wire.ParticipantID(getU32(b)), seq: getU64(b[4:])}
+}
+
+// assignFrame encodes a Phase 2a batch: count consecutive instances from
+// base, in key order. The decided watermark rides along so off-ring
+// learners (who never see the token) still learn decisions.
+func (e *Engine) assignFrame(base uint64, keys []valKey) *wire.DataMessage {
+	p := make([]byte, 21+keyWireSize*len(keys))
+	p[0] = subAssign
+	putU64(p[1:], e.decided)
+	putU64(p[9:], base)
+	putU32(p[17:], uint32(len(keys)))
+	for i, k := range keys {
+		putKey(p[21+keyWireSize*i:], k)
+	}
+	return e.controlFrame(e.view, p)
+}
+
+// parseAssign decodes a Phase 2a batch.
+func parseAssign(p []byte) (decided, base uint64, keys []valKey, ok bool) {
+	if len(p) < 21 {
+		return 0, 0, nil, false
+	}
+	n := int(getU32(p[17:]))
+	if n < 0 || len(p) != 21+keyWireSize*n {
+		return 0, 0, nil, false
+	}
+	keys = make([]valKey, n)
+	for i := range keys {
+		keys[i] = getKey(p[21+keyWireSize*i:])
+	}
+	return getU64(p[1:]), getU64(p[9:]), keys, true
+}
+
+// reportFrame encodes this member's Phase 1b report for the given view:
+// everything accepted in (decided, decided+MaxSeqGap]. The window
+// invariant (high ≤ decided_coordinator + MaxSeqGap, enforced at
+// assignment time in every view, and a member's decided at vote time is
+// at most MaxSeqGap below any instance it voted for) guarantees every
+// instance that may have been decided lies inside some majority
+// reporter's window, so the cut-off above decided+MaxSeqGap never drops
+// a decided entry — see the safety note on maxReportEntries.
+func (e *Engine) reportFrame(view uint64) *wire.DataMessage {
+	limit := e.decided + uint64(e.cfg.Flow.MaxSeqGap)
+	var ents []reportEntry
+	for i := e.decided + 1; i <= limit && i <= e.high; i++ {
+		if ent, ok := e.log[i]; ok {
+			ents = append(ents, reportEntry{instance: i, view: ent.view, key: ent.key})
+		}
+	}
+	p := make([]byte, 21+(16+keyWireSize)*len(ents))
+	p[0] = subReport
+	putU64(p[1:], e.decided)
+	putU64(p[9:], e.high)
+	putU32(p[17:], uint32(len(ents)))
+	for i, ent := range ents {
+		off := 21 + (16+keyWireSize)*i
+		putU64(p[off:], ent.instance)
+		putU64(p[off+8:], ent.view)
+		putKey(p[off+16:], ent.key)
+	}
+	return e.controlFrame(view, p)
+}
+
+// parseReport decodes a Phase 1b report.
+func parseReport(p []byte) (*report, bool) {
+	if len(p) < 21 {
+		return nil, false
+	}
+	n := int(getU32(p[17:]))
+	if n < 0 || len(p) != 21+(16+keyWireSize)*n {
+		return nil, false
+	}
+	r := &report{decided: getU64(p[1:]), high: getU64(p[9:])}
+	r.entries = make([]reportEntry, n)
+	for i := range r.entries {
+		off := 21 + (16+keyWireSize)*i
+		r.entries[i] = reportEntry{
+			instance: getU64(p[off:]),
+			view:     getU64(p[off+8:]),
+			key:      getKey(p[off+16:]),
+		}
+	}
+	return r, true
+}
+
+// nackFlagNeedInstall asks the coordinator to re-multicast the current
+// view installation (set when the nacker's promised view lags traffic it
+// has seen).
+const nackFlagNeedInstall = 1
+
+// maxNackInstances caps the instance list of one nack frame.
+const maxNackInstances = 256
+
+// nackFrame encodes a catch-up request: the instances in (delivered,
+// decided] this node cannot deliver, plus optionally a view-install
+// request.
+func (e *Engine) nackFrame(needInstall bool) *wire.DataMessage {
+	var missing []uint64
+	for i := e.delivered + 1; i <= e.decided && len(missing) < maxNackInstances; i++ {
+		if !e.canDeliver(i) {
+			missing = append(missing, i)
+		}
+	}
+	p := make([]byte, 14+8*len(missing))
+	p[0] = subNack
+	if needInstall {
+		p[1] = nackFlagNeedInstall
+	}
+	putU64(p[2:], e.promised)
+	putU32(p[10:], uint32(len(missing)))
+	for i, inst := range missing {
+		putU64(p[14+8*i:], inst)
+	}
+	return e.controlFrame(e.view, p)
+}
+
+// parseNack decodes a catch-up request.
+func parseNack(p []byte) (needInstall bool, promised uint64, missing []uint64, ok bool) {
+	if len(p) < 14 {
+		return false, 0, nil, false
+	}
+	n := int(getU32(p[10:]))
+	if n < 0 || n > maxNackInstances || len(p) != 14+8*n {
+		return false, 0, nil, false
+	}
+	missing = make([]uint64, n)
+	for i := range missing {
+		missing[i] = getU64(p[14+8*i:])
+	}
+	return p[1]&nackFlagNeedInstall != 0, getU64(p[2:]), missing, true
+}
+
+// canDeliver reports whether instance i's assignment and value are both
+// locally available (noop slots need no value).
+func (e *Engine) canDeliver(i uint64) bool {
+	ent, ok := e.log[i]
+	if !ok {
+		return false
+	}
+	if ent.key.pid == 0 {
+		return true
+	}
+	_, ok = e.values[ent.key]
+	return ok
+}
+
+// installFrame encodes the installation of a view: its active ring, plus
+// the sender's decided watermark so a rejoiner immediately knows how far
+// the log extends (off-ring members never see the token's ARU, and an
+// idle ring may never send another frame).
+func (e *Engine) installFrame(view uint64, active []wire.ParticipantID) *wire.DataMessage {
+	p := make([]byte, 13+4*len(active))
+	p[0] = subInstall
+	putU64(p[1:], e.decided)
+	putU32(p[9:], uint32(len(active)))
+	for i, m := range active {
+		putU32(p[13+4*i:], uint32(m))
+	}
+	return e.controlFrame(view, p)
+}
+
+// parseInstall decodes a view installation.
+func parseInstall(p []byte) (decided uint64, active []wire.ParticipantID, ok bool) {
+	if len(p) < 13 {
+		return 0, nil, false
+	}
+	n := int(getU32(p[9:]))
+	if n < 0 || n > wire.MaxMembers || len(p) != 13+4*n {
+		return 0, nil, false
+	}
+	active = make([]wire.ParticipantID, n)
+	for i := range active {
+		active[i] = wire.ParticipantID(getU32(p[13+4*i:]))
+	}
+	return getU64(p[1:]), active, true
+}
+
+// decidedFrame encodes a catch-up answer for one decided instance.
+func (e *Engine) decidedFrame(i uint64) *wire.DataMessage {
+	ent := e.log[i]
+	var val []byte
+	var svc wire.Service
+	if ent.key.pid != 0 {
+		p := e.values[ent.key]
+		val = p.payload
+		svc = p.service
+	}
+	p := make([]byte, 26+len(val))
+	p[0] = subDecided
+	putU64(p[1:], i)
+	putKey(p[9:], ent.key)
+	p[21] = uint8(svc)
+	putU32(p[22:], uint32(len(val)))
+	copy(p[26:], val)
+	return e.controlFrame(e.view, p)
+}
+
+// parseDecided decodes a catch-up answer. The returned value aliases p.
+func parseDecided(p []byte) (instance uint64, key valKey, svc wire.Service, val []byte, ok bool) {
+	if len(p) < 26 {
+		return 0, valKey{}, 0, nil, false
+	}
+	n := int(getU32(p[22:]))
+	if n < 0 || len(p) != 26+n {
+		return 0, valKey{}, 0, nil, false
+	}
+	return getU64(p[1:]), getKey(p[9:]), wire.Service(p[21]), p[26:], true
+}
+
+// HandleData dispatches received data frames: proposals (value frames)
+// and the five control subkinds.
+func (e *Engine) HandleData(m *wire.DataMessage) []core.Action {
+	if !e.started || m.RingID != e.ringID || m.PID == e.cfg.MyID {
+		return nil
+	}
+	e.stats.MsgsReceived++
+	if !m.Recovered {
+		return e.handleValue(m)
+	}
+	if len(m.Payload) == 0 {
+		return nil
+	}
+	switch m.Payload[0] {
+	case subAssign:
+		return e.handleAssign(m)
+	case subReport:
+		return e.handleReport(m)
+	case subNack:
+		return e.handleNack(m)
+	case subInstall:
+		return e.handleInstall(m)
+	case subDecided:
+		return e.handleDecided(m)
+	}
+	return nil
+}
+
+// handleValue stores a proposed value and, on the coordinator, feeds the
+// assignment pool.
+func (e *Engine) handleValue(m *wire.DataMessage) []core.Action {
+	if m.PID == 0 || m.Seq == 0 {
+		return nil
+	}
+	k := valKey{pid: m.PID, seq: uint64(m.Seq)}
+	if _, ok := e.values[k]; ok {
+		e.stats.MsgsDuplicate++
+		return nil
+	}
+	if k.seq <= e.lastDelivered[k.pid] {
+		e.stats.MsgsDuplicate++
+		return nil
+	}
+	// The payload aliases runtime scratch: copy before retaining.
+	val := make([]byte, len(m.Payload))
+	copy(val, m.Payload)
+	e.values[k] = &proposal{service: m.Service, payload: val}
+
+	var acts []core.Action
+	if e.isCoordinator() && !e.inViewChange {
+		e.offerToPool(k)
+		e.noteAlive(m.PID)
+		acts = e.maybeResume(acts)
+		acts = e.armExpansion(acts)
+	}
+	// The value may unblock a stalled delivery walk.
+	acts = e.advanceDelivery(acts)
+	acts = e.armLiveness(acts)
+	return acts
+}
+
+// handleAssign applies a Phase 2a batch.
+func (e *Engine) handleAssign(m *wire.DataMessage) []core.Action {
+	view := uint64(m.Round)
+	decided, base, keys, ok := parseAssign(m.Payload)
+	if !ok {
+		return nil
+	}
+	if view < e.view {
+		e.px.StaleFrames++
+		return nil
+	}
+	if view > e.promised || e.inViewChange {
+		// We missed this view's installation: ask for it.
+		if view > e.promised {
+			return []core.Action{core.SendData{Msg: e.nackFrame(true)}}
+		}
+		return nil
+	}
+	if view != e.view {
+		return nil
+	}
+	var acts []core.Action
+	for i, k := range keys {
+		inst := base + uint64(i)
+		if inst <= e.decided {
+			continue
+		}
+		if ent, ok := e.log[inst]; ok && ent.view >= view {
+			continue
+		}
+		e.log[inst] = entry{key: k, view: view}
+		if inst > e.high {
+			e.high = inst
+		}
+		e.markAssigned(k)
+	}
+	acts = e.advanceDecided(decided, acts)
+	acts = e.armLiveness(acts)
+	acts = e.armPacing(acts)
+	return acts
+}
+
+// handleNack answers a catch-up request. To keep answer traffic bounded,
+// regular nacks are answered only by the coordinator; a nack from the
+// coordinator itself (catching up after taking over a view) is answered
+// by every active-ring member — duplication across a handful of members
+// is preferable to electing an answerer nobody can verify has the data.
+func (e *Engine) handleNack(m *wire.DataMessage) []core.Action {
+	needInstall, promised, missing, ok := parseNack(m.Payload)
+	if !ok || e.inViewChange {
+		return nil
+	}
+	var acts []core.Action
+	if e.isCoordinator() {
+		if needInstall && promised < e.view {
+			acts = append(acts, core.SendData{Msg: e.installFrame(e.view, e.active)})
+		}
+		e.noteAlive(m.PID)
+	} else if m.PID != e.coordinator || e.myActiveIdx < 0 {
+		return nil
+	}
+	answered := 0
+	for _, inst := range missing {
+		if answered >= perTokenRTRAnswers {
+			break
+		}
+		if inst <= e.decided && e.canDeliver(inst) {
+			e.px.ValueRetransmits++
+			acts = append(acts, core.SendData{Msg: e.decidedFrame(inst)})
+			answered++
+		}
+	}
+	return e.armExpansion(acts)
+}
+
+// handleDecided applies a catch-up answer: the instance is decided at the
+// answerer, hence decided.
+func (e *Engine) handleDecided(m *wire.DataMessage) []core.Action {
+	inst, k, svc, val, ok := parseDecided(m.Payload)
+	if !ok || inst == 0 {
+		return nil
+	}
+	if ent, have := e.log[inst]; !have || ent.key != k || inst > e.decided {
+		e.log[inst] = entry{key: k, view: e.view}
+	}
+	if k.pid != 0 {
+		if _, have := e.values[k]; !have && svc.Valid() {
+			cp := make([]byte, len(val))
+			copy(cp, val)
+			e.values[k] = &proposal{service: svc, payload: cp}
+		}
+	}
+	if inst > e.high {
+		e.high = inst
+	}
+	var acts []core.Action
+	acts = e.advanceDecided(inst, acts)
+	acts = e.armLiveness(acts)
+	acts = e.armPacing(acts)
+	return acts
+}
+
+// noteAlive records evidence that a participant is alive. If it is not on
+// the active ring, the coordinator schedules a ring-expansion view change
+// (deferred by CommitTimeout so a burst of rejoin traffic folds into one
+// change).
+func (e *Engine) noteAlive(p wire.ParticipantID) {
+	for _, a := range e.active {
+		if a == p {
+			return
+		}
+	}
+	if len(e.active) == e.n {
+		return
+	}
+	e.expansionWanted = true
+}

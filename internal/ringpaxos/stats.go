@@ -1,0 +1,63 @@
+package ringpaxos
+
+// Stats are the Ring Paxos-specific counters, complementing the shared
+// core.Stats the engine also maintains (where TokensProcessed counts
+// accepted Phase 2 circulation acks, Delivered counts totally-ordered
+// deliveries, and MembershipChanges counts view installations plus the
+// initial configuration). All counters are cumulative since Start.
+type Stats struct {
+	// View is the currently installed view number.
+	View uint64 `json:"view"`
+	// ViewInstalls counts view installations applied (initial view
+	// excluded; every member counts each install it applies once).
+	ViewInstalls uint64 `json:"view_installs"`
+	// CoordinatorChanges counts installs that moved the coordinator to a
+	// different participant.
+	CoordinatorChanges uint64 `json:"coordinator_changes"`
+	// Phase1Rounds counts view changes this node initiated or joined
+	// (including retries for views that never installed).
+	Phase1Rounds uint64 `json:"phase1_rounds"`
+	// Phase2Circulations counts token circulations this node opened as
+	// coordinator.
+	Phase2Circulations uint64 `json:"phase2_circulations"`
+	// Phase2Tokens counts Phase 2 tokens this node accepted (as
+	// coordinator or ring member).
+	Phase2Tokens uint64 `json:"phase2_tokens"`
+	// QuorumDecides counts instances this node decided from an aggregate
+	// ring vote (coordinator) or learned locally in solo mode.
+	QuorumDecides uint64 `json:"quorum_decides"`
+	// DecideRoundsSum / DecideRoundsCount accumulate, per decided
+	// instance assigned by this coordinator, the number of circulations
+	// between assignment and decision — the quorum latency in rounds
+	// (ideal is 1). Mean = Sum / Count.
+	DecideRoundsSum   uint64 `json:"decide_rounds_sum"`
+	DecideRoundsCount uint64 `json:"decide_rounds_count"`
+	// Decided is the decided watermark: every instance up to it has a
+	// quorum-settled assignment.
+	Decided uint64 `json:"decided"`
+	// Delivered is the delivery watermark: instances delivered (or
+	// consumed as noops/duplicates) in total order.
+	Delivered uint64 `json:"delivered"`
+	// AssignBatches counts Phase 2a assignment batches this coordinator
+	// multicast.
+	AssignBatches uint64 `json:"assign_batches"`
+	// ValueRetransmits counts catch-up answers (decided-instance frames)
+	// this node multicast for lagging learners.
+	ValueRetransmits uint64 `json:"value_retransmits"`
+	// VoteAbstains counts circulations in which this member's vote was
+	// short of the token's window (it was missing assignments).
+	VoteAbstains uint64 `json:"vote_abstains"`
+	// StaleTokens counts tokens dropped for carrying an old view.
+	StaleTokens uint64 `json:"stale_tokens"`
+	// StaleFrames counts control frames dropped for carrying an old view.
+	StaleFrames uint64 `json:"stale_frames"`
+	// DupSuppressed counts decided instances whose value had already been
+	// delivered under an earlier instance (the delivery-level dedup that
+	// backstops the no-double-decide invariant; nonzero values indicate
+	// the invariant was violated upstream).
+	DupSuppressed uint64 `json:"dup_suppressed"`
+	// FastForwards counts deliveries restarted mid-stream because this
+	// node was too far behind for value catch-up (fresh incarnations
+	// only).
+	FastForwards uint64 `json:"fast_forwards"`
+}

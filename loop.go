@@ -136,8 +136,12 @@ func (ts *timerSet) stopAll() {
 // loop is the single protocol goroutine: it owns the engine, reads packets
 // honoring the token/data priority policy, executes engine actions, and
 // serves submissions and stats requests.
-func (n *Node) loop(eng *core.Engine, initial []core.Action) {
+func (n *Node) loop(eng core.OrderingEngine, initial []core.Action) {
 	ts := n.timers
+	// Engines with an eager submit path (Ring Paxos proposers multicast
+	// the value immediately) expose Flush; the contract requires calling
+	// it after every accepted submission.
+	flusher, _ := eng.(core.Flusher)
 	defer func() {
 		ts.stopAll()
 		n.tr.Close()
@@ -203,8 +207,11 @@ func (n *Node) loop(eng *core.Engine, initial []core.Action) {
 				n.nm.submits.Inc()
 			}
 			req.errCh <- err
+			if err == nil && flusher != nil {
+				n.execute(eng, ts, flusher.Flush())
+			}
 		case ch := <-n.statsCh:
-			ch <- eng.Stats()
+			ch <- statsReplyFor(eng)
 		case <-n.stopCh:
 			return
 		}
@@ -218,7 +225,7 @@ func (n *Node) loop(eng *core.Engine, initial []core.Action) {
 // decode target's RTR never aliases pkt; join/commit decoders copy their
 // sets) — so recycling here is safe and closes the Get-per-receive /
 // Put-per-dispatch cycle that keeps the hot path allocation-free.
-func (n *Node) handlePacket(eng *core.Engine, ts *timerSet, pkt []byte) {
+func (n *Node) handlePacket(eng core.OrderingEngine, ts *timerSet, pkt []byte) {
 	defer transport.Buffers.Put(pkt)
 	kind, err := wire.PeekKind(pkt)
 	if err != nil {
@@ -302,7 +309,7 @@ func (n *Node) handlePacket(eng *core.Engine, ts *timerSet, pkt []byte) {
 // frames that overlaps with the successor's round — so batching here turns
 // the protocol's characteristic bursts into single sendmmsg calls without
 // changing action semantics or ordering.
-func (n *Node) execute(eng *core.Engine, ts *timerSet, actions []core.Action) {
+func (n *Node) execute(eng core.OrderingEngine, ts *timerSet, actions []core.Action) {
 	for i := 0; i < len(actions); i++ {
 		if n.batcher != nil {
 			if _, ok := actions[i].(core.SendData); ok {

@@ -86,7 +86,13 @@ type RuntimeMetrics struct {
 // engine counters, runtime-loop counters, transport loss accounting, and
 // the recent-error ring. It marshals directly to JSON.
 type MetricsSnapshot struct {
-	Engine    Stats              `json:"engine"`
+	// EngineName identifies the ordering engine producing the Engine
+	// counters ("accelring" or "ringpaxos").
+	EngineName string `json:"engine_name"`
+	Engine     Stats  `json:"engine"`
+	// Paxos carries the Ring Paxos engine's protocol-specific counters
+	// (view installs, phase rounds, quorum latency); nil for accelring.
+	Paxos     *PaxosStats        `json:"paxos,omitempty"`
 	Runtime   RuntimeMetrics     `json:"runtime"`
 	Transport *TransportSnapshot `json:"transport,omitempty"`
 	// BufferPool is the process-wide packet buffer pool's recycling
@@ -171,12 +177,14 @@ func (m *nodeMetrics) runtimeSnapshot(n *Node) RuntimeMetrics {
 // counters (fetched synchronously from the protocol loop), the runtime's
 // atomic counters, and the transport's loss accounting when available.
 func (n *Node) Metrics() (MetricsSnapshot, error) {
-	st, err := n.Stats()
+	st, err := n.statsSnapshot()
 	if err != nil {
 		return MetricsSnapshot{}, err
 	}
 	snap := MetricsSnapshot{
-		Engine:     st,
+		EngineName: string(n.engine),
+		Engine:     st.stats,
+		Paxos:      st.paxos,
 		Runtime:    n.nm.runtimeSnapshot(n),
 		BufferPool: transport.Buffers.Snapshot(),
 		ErrorCount: n.nm.errors.Load(),

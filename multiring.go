@@ -51,6 +51,12 @@ type MultiOptions struct {
 	// memnet endpoints from per-ring hubs, udpnet transports on per-ring
 	// port sets, or any mix. Required, at least one.
 	RingTransports []Transport
+	// Engines, when non-empty, selects a per-ring ordering engine in shard
+	// order, overriding Node.Engine (every node of the deployment must use
+	// the identical list). Its length must match RingTransports. Rings may
+	// mix engines freely: the merge layer consumes each ring's totally
+	// ordered stream and never sees how it was agreed on.
+	Engines []EngineKind
 	// SkipInterval is the merge layer's starvation poll period (default
 	// 2ms): an idle ring stalls the cross-shard order for at most about
 	// one interval plus that ring's ordering latency.
@@ -106,9 +112,17 @@ func StartMulti(opts MultiOptions) (*MultiNode, error) {
 		}
 		return nil, err
 	}
+	if len(opts.Engines) != 0 && len(opts.Engines) != len(opts.RingTransports) {
+		return nil, fmt.Errorf("accelring: MultiOptions.Engines has %d entries for %d rings",
+			len(opts.Engines), len(opts.RingTransports))
+	}
+
 	for i, tr := range opts.RingTransports {
 		ringOpts := opts.Node
 		ringOpts.Transport = tr
+		if len(opts.Engines) != 0 {
+			ringOpts.Engine = opts.Engines[i]
+		}
 		if orig := opts.Node.OnStall; orig != nil {
 			ring := i
 			// Label per-ring loop stalls with their shard index.

@@ -88,17 +88,31 @@ func (n *Node) watchdog(interval time.Duration, onStall func(StallReport)) {
 // shardWatchdog is the multi-ring cross-check: each ring already runs its
 // own single-node watchdog, but a ring can also freeze in ways that look
 // idle from inside (token lost with failure detection disarmed, transport
-// silently dead). Relative progress exposes it: if any ring's token kept
-// rotating over an interval while another ring — previously rotating —
-// advanced zero tokens, that shard is stalled relative to the deployment
-// and the merged total order is held up behind its skip units.
+// silently dead). Relative progress exposes it: if any ring kept making
+// progress over an interval while another ring — previously progressing —
+// froze, that shard is stalled relative to the deployment and the merged
+// total order is held up behind its skip units.
+//
+// The per-ring progress probe depends on the engine. A steady-rotation
+// engine (accelring) circulates its token even when idle, so a frozen
+// token counter alone is a stall. An event-driven engine (ringpaxos)
+// deliberately pauses its ring when there is nothing to order, so a
+// frozen counter is normal; such a ring is flagged only when its overall
+// progress is frozen while it still owes work (queued packets, pending
+// timer fires, or a full events channel).
 func (mn *MultiNode) shardWatchdog(interval time.Duration, onStall func(StallReport)) {
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
+	probe := func(n *Node) uint64 {
+		if n.steadyRotation {
+			return n.nm.pktToken.Load()
+		}
+		return n.nm.progress()
+	}
 	last := make([]uint64, len(mn.nodes))
 	cur := make([]uint64, len(mn.nodes))
 	for i, n := range mn.nodes {
-		last[i] = n.nm.pktToken.Load()
+		last[i] = probe(n)
 	}
 	for {
 		select {
@@ -109,21 +123,44 @@ func (mn *MultiNode) shardWatchdog(interval time.Duration, onStall func(StallRep
 		mn.shardChecks.Add(1)
 		advanced := false
 		for i, n := range mn.nodes {
-			cur[i] = n.nm.pktToken.Load()
+			cur[i] = probe(n)
 			if cur[i] > last[i] {
 				advanced = true
 			}
 		}
 		if advanced {
-			for i := range cur {
-				// Only a ring that was rotating before (last > 0) can stall;
-				// a ring that never formed is a startup condition, not a
-				// wedge.
-				if cur[i] == last[i] && last[i] > 0 {
+			for i, n := range mn.nodes {
+				if cur[i] != last[i] {
+					continue
+				}
+				if n.steadyRotation {
+					// Only a ring that was rotating before (last > 0) can
+					// stall; a ring that never formed is a startup
+					// condition, not a wedge.
+					if last[i] == 0 {
+						continue
+					}
 					mn.shardStalls.Add(1)
 					if onStall != nil {
 						onStall(StallReport{Ring: i, Interval: interval})
 					}
+					continue
+				}
+				// Event-driven ring: frozen is fine unless it owes work.
+				data, token, timers, evFull := n.pendingWork()
+				if data == 0 && token == 0 && timers == 0 && !evFull {
+					continue
+				}
+				mn.shardStalls.Add(1)
+				if onStall != nil {
+					onStall(StallReport{
+						Ring:           i,
+						Interval:       interval,
+						PendingData:    data,
+						PendingToken:   token,
+						PendingTimers:  timers,
+						EventQueueFull: evFull,
+					})
 				}
 			}
 		}

@@ -225,3 +225,174 @@ func TestShardWatchdogFlagsFrozenRing(t *testing.T) {
 		}
 	}
 }
+
+// startMixedEngineMultis boots two participants, each running shard 0 on
+// accelring and shard 1 on ringpaxos, returning the multi-nodes in member
+// order. Only participant 1 runs the shard watchdog.
+func startMixedEngineMultis(t *testing.T, interval time.Duration, nodeBuf, mergedBuf int,
+	onStall func(StallReport)) []*MultiNode {
+	t.Helper()
+	hubs := []*MemoryNetwork{NewMemoryNetwork(5), NewMemoryNetwork(6)}
+	members := []ParticipantID{1, 2}
+	var multis []*MultiNode
+	for _, id := range members {
+		opts := MultiOptions{
+			Node: Options{
+				ID:                 id,
+				Members:            members,
+				EventBuffer:        nodeBuf,
+				TokenLossTimeout:   200 * time.Millisecond,
+				TokenRetransPeriod: 40 * time.Millisecond,
+				JoinPeriod:         20 * time.Millisecond,
+				ConsensusTimeout:   100 * time.Millisecond,
+				CommitTimeout:      100 * time.Millisecond,
+			},
+			RingTransports: []Transport{hubs[0].Endpoint(id), hubs[1].Endpoint(id)},
+			Engines:        []EngineKind{EngineAccelRing, EngineRingPaxos},
+			SkipInterval:   time.Millisecond,
+			EventBuffer:    mergedBuf,
+		}
+		if id == 1 {
+			opts.Node.WatchdogInterval = interval
+			opts.Node.OnStall = onStall
+		}
+		mn, err := StartMulti(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { mn.Close() })
+		multis = append(multis, mn)
+	}
+	return multis
+}
+
+// TestShardWatchdogQuietOnIdleRingPaxosShard is the regression test for
+// the mixed-engine false positive: a ringpaxos shard pauses its token
+// when it has nothing to order, so a frozen token counter next to a
+// still-rotating accelring sibling must not be reported as a stall.
+func TestShardWatchdogQuietOnIdleRingPaxosShard(t *testing.T) {
+	const interval = 100 * time.Millisecond
+	stalls := make(chan StallReport, 64)
+	multis := startMixedEngineMultis(t, interval, 0, 0, func(r StallReport) {
+		select {
+		case stalls <- r:
+		default:
+		}
+	})
+	for _, mn := range multis {
+		mn := mn
+		go func() {
+			for range mn.Events() {
+			}
+		}()
+	}
+	watched := multis[0]
+
+	// Put traffic through the ringpaxos shard so its token counter is
+	// nonzero (the pre-fix heuristic only flagged previously-rotating
+	// rings), then let it quiesce while the accelring shard keeps
+	// rotating.
+	for i := 0; i < 10; i++ {
+		if err := watched.SubmitShard(1, "g", []byte("x"), Agreed); err != nil {
+			t.Fatalf("SubmitShard: %v", err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for watched.Ring(1).nm.pktToken.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("ringpaxos shard never circulated a token")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Observe several watchdog checks during which the accelring shard
+	// advances and the idle ringpaxos shard does not.
+	start := watched.shardChecks.Load()
+	tok0 := watched.Ring(0).nm.pktToken.Load()
+	deadline = time.Now().Add(10 * time.Second)
+	for watched.shardChecks.Load() < start+5 {
+		if time.Now().After(deadline) {
+			t.Fatal("watchdog never accumulated checks")
+		}
+		time.Sleep(interval / 2)
+	}
+	if watched.Ring(0).nm.pktToken.Load() == tok0 {
+		t.Fatal("accelring shard stopped rotating; test premise broken")
+	}
+	if s := watched.shardStalls.Load(); s != 0 {
+		t.Fatalf("idle ringpaxos shard flagged %d stalls", s)
+	}
+	select {
+	case r := <-stalls:
+		t.Fatalf("unexpected stall report: %+v", r)
+	default:
+	}
+}
+
+// TestShardWatchdogFlagsWedgedRingPaxosShard checks the event-driven
+// heuristic still catches a real wedge: the application stops draining
+// the merged stream, the ringpaxos shard blocks mid-delivery with work
+// queued, and the sibling accelring shard keeps rotating.
+func TestShardWatchdogFlagsWedgedRingPaxosShard(t *testing.T) {
+	const interval = 100 * time.Millisecond
+	stalls := make(chan StallReport, 64)
+	multis := startMixedEngineMultis(t, interval, 4, 4, func(r StallReport) {
+		select {
+		case stalls <- r:
+		default:
+		}
+	})
+	watched, other := multis[0], multis[1]
+	// Participant 2 drains; participant 1 (watched) never reads its
+	// merged events.
+	go func() {
+		for range other.Events() {
+		}
+	}()
+
+	// Flood the ringpaxos shard from the healthy participant until the
+	// watched node's buffers (events chan + mux + merged output) fill and
+	// its ring-1 loop wedges mid-delivery. Backlog errors just mean the
+	// pipe is full — keep nudging so pacing retransmissions keep arriving.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			other.SubmitShard(1, "g", []byte("flood"), Agreed)
+			if i%64 == 63 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+
+	// Wait on the shard watchdog's own counter: OnStall also receives the
+	// per-ring node watchdogs' reports (relabeled with their shard index),
+	// and the wedged ring's own watchdog typically fires first.
+	var sawRingReport bool
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		select {
+		case r := <-stalls:
+			if r.Ring != 1 {
+				continue // transient per-loop (-1) or ring-0 reports
+			}
+			if !r.EventQueueFull && r.PendingData == 0 && r.PendingToken == 0 && r.PendingTimers == 0 {
+				t.Fatalf("stall report carries no pending work: %+v", r)
+			}
+			sawRingReport = true
+		case <-time.After(50 * time.Millisecond):
+		}
+		if sawRingReport && watched.shardStalls.Load() > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard watchdog never flagged the wedged ringpaxos shard (checks=%d stalls=%d report=%v)",
+				watched.shardChecks.Load(), watched.shardStalls.Load(), sawRingReport)
+		}
+	}
+}
